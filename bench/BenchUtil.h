@@ -1,0 +1,124 @@
+//===- bench/BenchUtil.h - Shared harness helpers ---------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table-reproduction harnesses: the three
+/// provers behind one interface, per-instance fuel budgets standing in
+/// for the paper's 10-minute wall-clock timeout, and row formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_BENCH_BENCHUTIL_H
+#define SLP_BENCH_BENCHUTIL_H
+
+#include "baselines/BerdineProver.h"
+#include "baselines/UnfoldingProver.h"
+#include "core/Prover.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace slp {
+namespace bench {
+
+/// Reads an unsigned configuration value from the environment, so the
+/// harnesses can be scaled up to the paper's full 1000-instance rows
+/// (e.g. SLP_BENCH_INSTANCES=1000) without recompiling.
+inline uint64_t envOr(const char *Name, uint64_t Default) {
+  const char *V = std::getenv(Name);
+  return V ? std::strtoull(V, nullptr, 10) : Default;
+}
+
+/// Outcome of running one prover over a batch of entailments.
+struct BatchResult {
+  double Seconds = 0;     ///< Total wall-clock time.
+  unsigned Solved = 0;    ///< Instances decided within the fuel budget.
+  unsigned Valid = 0;     ///< Instances reported valid.
+  unsigned Total = 0;
+};
+
+/// Renders "12.34" or "12.34 (57%)" when some instances timed out,
+/// mirroring the paper's "(N%)" notation.
+inline std::string cell(const BatchResult &R) {
+  char Buf[64];
+  if (R.Solved == R.Total) {
+    std::snprintf(Buf, sizeof(Buf), "%10.2f", R.Seconds);
+    return Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf), "%7.2f (%d%%)", R.Seconds,
+                static_cast<int>(100.0 * R.Solved / R.Total));
+  return Buf;
+}
+
+/// Runs SLP over a batch with a per-instance fuel budget.
+inline BatchResult runSlp(TermTable &Terms,
+                          const std::vector<sl::Entailment> &Batch,
+                          uint64_t FuelPerInstance) {
+  core::SlpProver Prover(Terms);
+  BatchResult R;
+  R.Total = static_cast<unsigned>(Batch.size());
+  Timer T;
+  for (const sl::Entailment &E : Batch) {
+    Fuel F(FuelPerInstance);
+    core::ProveResult PR = Prover.prove(E, F);
+    if (PR.V != core::Verdict::Unknown)
+      ++R.Solved;
+    if (PR.V == core::Verdict::Valid)
+      ++R.Valid;
+  }
+  R.Seconds = T.seconds();
+  return R;
+}
+
+/// Runs the complete Berdine-style baseline over a batch.
+inline BatchResult runBerdine(TermTable &Terms,
+                              const std::vector<sl::Entailment> &Batch,
+                              uint64_t FuelPerInstance) {
+  baselines::BerdineProver Prover(Terms);
+  BatchResult R;
+  R.Total = static_cast<unsigned>(Batch.size());
+  Timer T;
+  for (const sl::Entailment &E : Batch) {
+    Fuel F(FuelPerInstance);
+    baselines::BaselineVerdict V = Prover.prove(E, F);
+    if (V != baselines::BaselineVerdict::Unknown)
+      ++R.Solved;
+    if (V == baselines::BaselineVerdict::Valid)
+      ++R.Valid;
+  }
+  R.Seconds = T.seconds();
+  return R;
+}
+
+/// Runs the greedy jStar-style prover over a batch. "Solved" counts
+/// proofs found; the prover is incomplete, so valid instances it
+/// cannot prove show up as unsolved.
+inline BatchResult runGreedy(TermTable &Terms,
+                             const std::vector<sl::Entailment> &Batch,
+                             uint64_t FuelPerInstance) {
+  baselines::UnfoldingProver Prover(Terms);
+  BatchResult R;
+  R.Total = static_cast<unsigned>(Batch.size());
+  Timer T;
+  for (const sl::Entailment &E : Batch) {
+    Fuel F(FuelPerInstance);
+    baselines::GreedyVerdict V = Prover.prove(E, F);
+    if (V == baselines::GreedyVerdict::Valid) {
+      ++R.Solved;
+      ++R.Valid;
+    }
+  }
+  R.Seconds = T.seconds();
+  return R;
+}
+
+} // namespace bench
+} // namespace slp
+
+#endif // SLP_BENCH_BENCHUTIL_H

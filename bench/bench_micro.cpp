@@ -1,0 +1,126 @@
+//===- bench/bench_micro.cpp - Substrate microbenchmarks -----------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// google-benchmark microbenchmarks for the substrates: term
+/// interning, KBO comparison, superposition saturation, model
+/// generation, and a single end-to-end prover query.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Prover.h"
+#include "gen/RandomEntailments.h"
+#include "sl/Parser.h"
+#include "superposition/Saturation.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slp;
+
+static void BM_TermInterning(benchmark::State &State) {
+  for (auto _ : State) {
+    SymbolTable Symbols;
+    TermTable Terms(Symbols);
+    for (int I = 0; I != 100; ++I)
+      benchmark::DoNotOptimize(Terms.constant("v" + std::to_string(I)));
+  }
+}
+BENCHMARK(BM_TermInterning);
+
+static void BM_TermLookupHit(benchmark::State &State) {
+  SymbolTable Symbols;
+  TermTable Terms(Symbols);
+  for (int I = 0; I != 100; ++I)
+    (void)Terms.constant("v" + std::to_string(I));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Terms.constant("v57"));
+}
+BENCHMARK(BM_TermLookupHit);
+
+static void BM_KboCompare(benchmark::State &State) {
+  SymbolTable Symbols;
+  TermTable Terms(Symbols);
+  KBO Ord;
+  std::vector<const Term *> Cs;
+  for (int I = 0; I != 64; ++I)
+    Cs.push_back(Terms.constant("v" + std::to_string(I)));
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Ord.compare(Cs[I % 64], Cs[(I * 7 + 13) % 64]));
+    ++I;
+  }
+}
+BENCHMARK(BM_KboCompare);
+
+static void BM_SaturationChain(benchmark::State &State) {
+  // Equality chain refutation x1=..=xN, x1 != xN.
+  const int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    SymbolTable Symbols;
+    TermTable Terms(Symbols);
+    KBO Ord;
+    sup::Saturation Sat(Terms, Ord);
+    for (int I = 1; I != N; ++I)
+      Sat.addInput({}, {sup::Equation(
+                           Terms.constant("x" + std::to_string(I)),
+                           Terms.constant("x" + std::to_string(I + 1)))});
+    Sat.addInput({sup::Equation(Terms.constant("x1"),
+                                Terms.constant("x" + std::to_string(N)))},
+                 {});
+    Fuel F;
+    benchmark::DoNotOptimize(Sat.saturate(F));
+  }
+}
+BENCHMARK(BM_SaturationChain)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_ModelGeneration(benchmark::State &State) {
+  SymbolTable Symbols;
+  TermTable Terms(Symbols);
+  KBO Ord;
+  sup::Saturation Sat(Terms, Ord);
+  SplitMix64 Rng(7);
+  for (int I = 0; I != 30; ++I) {
+    const Term *A = Terms.constant("v" + std::to_string(Rng.below(20)));
+    const Term *B = Terms.constant("v" + std::to_string(Rng.below(20)));
+    if (A != B)
+      Sat.addInput({}, {sup::Equation(A, B)});
+  }
+  Fuel F;
+  if (Sat.saturate(F) != sup::SatResult::Saturated)
+    State.SkipWithError("unexpectedly unsatisfiable");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Sat.genModel());
+}
+BENCHMARK(BM_ModelGeneration);
+
+static void BM_ProverPaperExample(benchmark::State &State) {
+  SymbolTable Symbols;
+  TermTable Terms(Symbols);
+  sl::ParseResult P = sl::parseEntailment(
+      Terms, "c != e & lseg(a, b) * lseg(a, c) * next(c, d) * lseg(d, e) "
+             "|- lseg(b, c) * lseg(c, e)");
+  core::SlpProver Prover(Terms);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Prover.prove(*P.Value));
+}
+BENCHMARK(BM_ProverPaperExample);
+
+static void BM_ProverRandomDist2(benchmark::State &State) {
+  SymbolTable Symbols;
+  TermTable Terms(Symbols);
+  SplitMix64 Rng(1);
+  std::vector<sl::Entailment> Es;
+  for (int I = 0; I != 50; ++I)
+    Es.push_back(gen::distribution2(Terms, Rng, 12, 0.7));
+  core::SlpProver Prover(Terms);
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Prover.prove(Es[I % Es.size()]));
+    ++I;
+  }
+}
+BENCHMARK(BM_ProverRandomDist2);
+
+BENCHMARK_MAIN();

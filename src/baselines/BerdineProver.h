@@ -1,0 +1,73 @@
+//===- baselines/BerdineProver.h - Smallfoot-style baseline -----*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A complete baseline prover in the style of the original
+/// Berdine-Calcagno-O'Hearn proof system (FSTTCS'04), which is the
+/// basis of Smallfoot's entailment checker. Unlike SLP it has no
+/// equality model to disambiguate heap shapes: aliasing questions are
+/// answered by *case splitting* on equalities between program
+/// variables, and the spatial axioms are applied per fully decided
+/// case. This is sound and complete for the fragment, but the search
+/// tree grows like the number of variable partitions (Bell numbers) —
+/// exactly the blowup Tables 1-3 of the paper attribute to the
+/// pre-SLP generation of tools.
+///
+/// Search structure:
+///   1. Close the pure part under union-find; an inconsistency proves
+///      the sequent.
+///   2. Apply the forced well-formedness splits on the left-hand Σ
+///      (nil addresses, shared addresses).
+///   3. Split on the first undecided equality between occurring
+///      constants; both branches must be valid.
+///   4. At a leaf every pair is decided: the stack is determined, and
+///      the entailment is checked with the (deterministic) unfolding
+///      walk of the core library — which at a total partition decides
+///      validity outright.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_BASELINES_BERDINEPROVER_H
+#define SLP_BASELINES_BERDINEPROVER_H
+
+#include "sl/Formula.h"
+#include "support/Fuel.h"
+
+namespace slp {
+namespace baselines {
+
+/// Baseline verdicts. Unknown only arises from fuel exhaustion.
+enum class BaselineVerdict { Valid, Invalid, Unknown };
+
+const char *baselineVerdictName(BaselineVerdict V);
+
+/// Statistics for the benchmark tables.
+struct BaselineStats {
+  uint64_t CaseSplits = 0; ///< Equality case splits performed.
+  uint64_t Leaves = 0;     ///< Fully decided partitions examined.
+};
+
+/// Complete, case-splitting entailment prover.
+class BerdineProver {
+public:
+  explicit BerdineProver(TermTable &Terms) : Terms(Terms) {}
+
+  BaselineVerdict prove(const sl::Entailment &E, Fuel &F);
+
+  const BaselineStats &stats() const { return Stats; }
+
+private:
+  struct State;
+  BaselineVerdict decide(const State &S, Fuel &F);
+
+  TermTable &Terms;
+  BaselineStats Stats;
+};
+
+} // namespace baselines
+} // namespace slp
+
+#endif // SLP_BASELINES_BERDINEPROVER_H

@@ -1,0 +1,204 @@
+//===- baselines/UnfoldingProver.cpp - jStar-style baseline ------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/UnfoldingProver.h"
+
+#include "support/UnionFind.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+using namespace slp;
+using namespace slp::baselines;
+
+GreedyVerdict UnfoldingProver::prove(const sl::Entailment &E, Fuel &F) {
+  // Working copies; the propagation loop may extend the pure part.
+  std::vector<sl::PureAtom> Pure = E.Lhs.Pure;
+  std::vector<const Term *> Constants;
+  Constants.push_back(Terms.nil());
+  E.collectTerms(Constants);
+
+  sl::SpatialFormula Sigma, SigmaP;
+  UnionFind UF;
+  std::set<std::pair<uint32_t, uint32_t>> Diseqs;
+  std::unordered_map<uint32_t, const Term *> Rep;
+
+  auto RepOf = [&](const Term *T) { return Rep.at(UF.find(T->id())); };
+
+  // One propagation round: rebuild the congruence and the substituted
+  // spatial formulas. Returns false when Π is inconsistent (which
+  // proves the entailment outright).
+  auto Propagate = [&]() {
+    UF = UnionFind();
+    Diseqs.clear();
+    Rep.clear();
+    for (const sl::PureAtom &A : Pure)
+      if (!A.Negated)
+        UF.unite(A.Lhs->id(), A.Rhs->id());
+    for (const sl::PureAtom &A : Pure) {
+      if (!A.Negated)
+        continue;
+      uint32_t RA = UF.find(A.Lhs->id()), RB = UF.find(A.Rhs->id());
+      if (RA == RB)
+        return false;
+      Diseqs.emplace(std::min(RA, RB), std::max(RA, RB));
+    }
+    for (const Term *C : Constants) {
+      uint32_t R = UF.find(C->id());
+      auto It = Rep.find(R);
+      if (It == Rep.end() || C->id() < It->second->id())
+        Rep[R] = C;
+    }
+    Rep[UF.find(Terms.nil()->id())] = Terms.nil();
+
+    auto Subst = [&](const sl::SpatialFormula &In) {
+      sl::SpatialFormula Out;
+      for (const sl::HeapAtom &A : In) {
+        sl::HeapAtom B{A.Kind, RepOf(A.Addr), RepOf(A.Val)};
+        if (!B.isTrivialLseg())
+          Out.push_back(B);
+      }
+      return Out;
+    };
+    Sigma = Subst(E.Lhs.Spatial);
+    SigmaP = Subst(E.Rhs.Spatial);
+    return true;
+  };
+
+  // Greedy well-formedness propagation: apply only *forced* equalities
+  // (single-branch rules); anything requiring a case split is skipped.
+  for (;;) {
+    if (!F.consume())
+      return GreedyVerdict::NotProved;
+    if (!Propagate())
+      return GreedyVerdict::Valid; // Inconsistent Π.
+
+    bool Again = false;
+    for (size_t I = 0; I != Sigma.size() && !Again; ++I) {
+      const sl::HeapAtom &A = Sigma[I];
+      if (A.Addr->isNil()) {
+        if (A.isNext())
+          return GreedyVerdict::Valid; // Unsatisfiable Σ.
+        Pure.push_back(sl::PureAtom::eq(A.Val, A.Addr));
+        Again = true;
+        break;
+      }
+      for (size_t J = I + 1; J != Sigma.size(); ++J) {
+        const sl::HeapAtom &B = Sigma[J];
+        if (A.Addr != B.Addr)
+          continue;
+        if (A.isNext() && B.isNext())
+          return GreedyVerdict::Valid; // Unsatisfiable Σ.
+        if (A.isNext() || B.isNext()) {
+          const sl::HeapAtom &L = A.isLseg() ? A : B;
+          Pure.push_back(sl::PureAtom::eq(L.Addr, L.Val));
+          Again = true;
+          break;
+        }
+        // lseg/lseg sharing an address needs a case split; greedy
+        // provers cannot branch, so the proof attempt fails here.
+        return GreedyVerdict::NotProved;
+      }
+    }
+    if (!Again)
+      break;
+  }
+
+  // "Evidently distinct": explicit disequality, or two distinct
+  // allocated next-cells, or a next-cell vs nil. lseg addresses are
+  // not used (the segment might be empty) — a deliberate source of
+  // incompleteness shared with rule-based tools.
+  std::set<uint32_t> NextAddrs;
+  for (const sl::HeapAtom &A : Sigma)
+    if (A.isNext())
+      NextAddrs.insert(A.Addr->id());
+  auto Distinct = [&](const Term *X, const Term *Y) {
+    if (X == Y)
+      return false;
+    uint32_t RX = UF.find(X->id()), RY = UF.find(Y->id());
+    if (Diseqs.count({std::min(RX, RY), std::max(RX, RY)}))
+      return true;
+    bool XNext = NextAddrs.count(X->id()), YNext = NextAddrs.count(Y->id());
+    if (XNext && YNext)
+      return true;
+    if ((XNext && Y->isNil()) || (YNext && X->isNil()))
+      return true;
+    return false;
+  };
+
+  // Π' must be syntactically evident.
+  for (const sl::PureAtom &A : E.Rhs.Pure) {
+    if (!F.consume())
+      return GreedyVerdict::NotProved;
+    if (A.Negated) {
+      if (!Distinct(RepOf(A.Lhs), RepOf(A.Rhs)))
+        return GreedyVerdict::NotProved;
+    } else if (RepOf(A.Lhs) != RepOf(A.Rhs)) {
+      return GreedyVerdict::NotProved;
+    }
+  }
+
+  // Greedy spatial matching: walk each Σ' atom over Σ once, applying
+  // the unfolding axioms only when their side conditions are evident.
+  std::unordered_map<uint32_t, size_t> AtomAt;
+  for (size_t I = 0; I != Sigma.size(); ++I)
+    AtomAt.emplace(Sigma[I].Addr->id(), I);
+  std::vector<bool> Consumed(Sigma.size(), false);
+
+  for (const sl::HeapAtom &AP : SigmaP) {
+    if (!F.consume())
+      return GreedyVerdict::NotProved;
+    auto It = AtomAt.find(AP.Addr->id());
+    if (AP.isNext()) {
+      if (It == AtomAt.end() || Consumed[It->second])
+        return GreedyVerdict::NotProved;
+      const sl::HeapAtom &T = Sigma[It->second];
+      if (!T.isNext() || T.Val != AP.Val)
+        return GreedyVerdict::NotProved;
+      Consumed[It->second] = true;
+      continue;
+    }
+    const Term *Cur = AP.Addr;
+    const Term *End = AP.Val;
+    while (Cur != End) {
+      if (!F.consume())
+        return GreedyVerdict::NotProved;
+      auto Step = AtomAt.find(Cur->id());
+      if (Step == AtomAt.end() || Consumed[Step->second])
+        return GreedyVerdict::NotProved;
+      Consumed[Step->second] = true;
+      const sl::HeapAtom &T = Sigma[Step->second];
+      if (T.isNext()) {
+        // U1/U2 require the remaining segment to be provably nonempty.
+        if (!Distinct(Cur, End))
+          return GreedyVerdict::NotProved;
+        Cur = T.Val;
+        continue;
+      }
+      if (T.Val == End) {
+        Cur = T.Val;
+        continue;
+      }
+      if (End->isNil()) {
+        Cur = T.Val; // U3.
+        continue;
+      }
+      auto Guard = AtomAt.find(End->id());
+      if (Guard == AtomAt.end())
+        return GreedyVerdict::NotProved;
+      const sl::HeapAtom &Z = Sigma[Guard->second];
+      if (Z.isLseg() && !Distinct(Z.Addr, Z.Val))
+        return GreedyVerdict::NotProved; // U5's side case is undecided.
+      Cur = T.Val;
+    }
+  }
+
+  if (std::find(Consumed.begin(), Consumed.end(), false) != Consumed.end())
+    return GreedyVerdict::NotProved;
+  return GreedyVerdict::Valid;
+}

@@ -1,0 +1,52 @@
+//===- baselines/UnfoldingProver.h - jStar-style baseline -------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An *incomplete*, greedy rewriting prover in the style of jStar's
+/// rule-based entailment checker: it applies the separation logic
+/// axioms left-to-right exactly once, with no case analysis on
+/// equalities and no equality model. Aliasing facts are used only when
+/// they are syntactically evident (explicit disequalities, allocated
+/// next-cells, nil). Consequently it is fast but fails to prove
+/// entailments whose proofs need equality reasoning — mirroring the 59
+/// valid verification conditions jStar cannot discharge in the
+/// paper's Table 3 footnote.
+///
+/// Verdicts are Valid ("proved") or NotProved; the prover never claims
+/// invalidity, so it is sound but incomplete.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_BASELINES_UNFOLDINGPROVER_H
+#define SLP_BASELINES_UNFOLDINGPROVER_H
+
+#include "sl/Formula.h"
+#include "support/Fuel.h"
+
+namespace slp {
+namespace baselines {
+
+/// Outcome of the greedy prover.
+enum class GreedyVerdict {
+  Valid,     ///< Proof found; the entailment holds.
+  NotProved, ///< No proof found (the entailment may still hold).
+};
+
+/// Greedy, incomplete rewriting prover.
+class UnfoldingProver {
+public:
+  explicit UnfoldingProver(TermTable &Terms) : Terms(Terms) {}
+
+  GreedyVerdict prove(const sl::Entailment &E, Fuel &F);
+
+private:
+  TermTable &Terms;
+};
+
+} // namespace baselines
+} // namespace slp
+
+#endif // SLP_BASELINES_UNFOLDINGPROVER_H

@@ -1,0 +1,48 @@
+//===- core/ClausalForm.h - The cnf embedding -------------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The clausal embedding cnf(E) of §3.2: the negation of an
+/// entailment E ≡ Π ∧ Σ → Π' ∧ Σ' is represented by
+///
+///   { ∅→P | P positive in Π } ∪ { N→∅ | ¬N in Π } ∪
+///   { ∅→Σ } ∪ { Π'+, Σ' → Π'− }
+///
+/// E is valid iff cnf(E) is unsatisfiable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_CORE_CLAUSALFORM_H
+#define SLP_CORE_CLAUSALFORM_H
+
+#include "core/SpatialClause.h"
+
+namespace slp {
+namespace core {
+
+/// A pure clause destined for the superposition engine, with a
+/// human-readable provenance label for proof trees.
+struct PureInput {
+  std::vector<sup::Equation> Neg;
+  std::vector<sup::Equation> Pos;
+  std::string Label;
+};
+
+/// cnf(E), with the single positive and negative spatial clauses kept
+/// in structured form.
+struct ClausalForm {
+  std::vector<PureInput> PureClauses; ///< From the pure part of Π.
+  PosSpatialClause PosSigma;          ///< ∅ → Σ.
+  NegSpatialClause NegSigma;          ///< Π'+, Σ' → Π'−.
+};
+
+/// Builds the clausal embedding of \p E.
+ClausalForm cnf(const TermTable &Terms, const sl::Entailment &E);
+
+} // namespace core
+} // namespace slp
+
+#endif // SLP_CORE_CLAUSALFORM_H

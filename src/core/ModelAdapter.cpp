@@ -1,0 +1,51 @@
+//===- core/ModelAdapter.cpp - From R to (s_R, gr_R Σ) ----------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ModelAdapter.h"
+
+#include <unordered_map>
+
+using namespace slp;
+using namespace slp::core;
+
+sl::Stack core::inducedStack(const GroundRewriteSystem &R,
+                             std::span<const Term *const> Constants) {
+  sl::Stack S;
+  std::unordered_map<uint32_t, sl::Loc> LocOfNormalForm;
+  sl::Loc NextLoc = 1;
+
+  for (const Term *C : Constants) {
+    const Term *NF = R.normalize(C);
+    sl::Loc L;
+    if (NF->isNil()) {
+      L = sl::NilLoc;
+    } else {
+      auto [It, Inserted] = LocOfNormalForm.try_emplace(NF->id(), NextLoc);
+      if (Inserted)
+        ++NextLoc;
+      L = It->second;
+    }
+    if (!C->isNil())
+      S.bind(C, L);
+    if (!NF->isNil())
+      S.bind(NF, L);
+  }
+  return S;
+}
+
+sl::Heap core::graphHeap(const sl::Stack &S, const sl::SpatialFormula &Sigma) {
+  sl::Heap H;
+  for (const sl::HeapAtom &A : Sigma) {
+    if (A.isTrivialLseg())
+      continue;
+    sl::Loc Addr = S.eval(A.Addr);
+    sl::Loc Val = S.eval(A.Val);
+    assert(Addr != sl::NilLoc && "well-formed atoms have non-nil addresses");
+    assert(!H.contains(Addr) && "well-formed atoms have distinct addresses");
+    H.set(Addr, Val);
+  }
+  return H;
+}

@@ -1,0 +1,75 @@
+//===- core/Normalization.cpp - Rules N1-N4 ---------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Normalization.h"
+
+#include <algorithm>
+
+using namespace slp;
+using namespace slp::core;
+
+namespace {
+
+/// Shared worker: rewrites the atoms of Sigma to normal form,
+/// accumulates the generating clauses' residual literals into
+/// (Neg, Pos), and drops trivial lseg atoms.
+void normalizeParts(const sup::Saturation &Sat, const GroundRewriteSystem &R,
+                    std::vector<sup::Equation> &Neg,
+                    std::vector<sup::Equation> &Pos,
+                    sl::SpatialFormula &Sigma) {
+  std::vector<const RewriteRule *> Used;
+  for (sl::HeapAtom &A : Sigma) {
+    A.Addr = R.normalizeTracked(A.Addr, Used);
+    A.Val = R.normalizeTracked(A.Val, Used);
+  }
+
+  // Each distinct rewrite edge contributes the side literals of its
+  // generating clause once (rule N1/N3: conclusion carries Γ' and ∆'
+  // minus the equation x ' y that justified the replacement).
+  std::sort(Used.begin(), Used.end());
+  Used.erase(std::unique(Used.begin(), Used.end()), Used.end());
+  for (const RewriteRule *Rule : Used) {
+    assert(Rule->GeneratingClause != ~0u &&
+           "model edges must carry generating clauses");
+    const sup::Clause &Gen = Sat.entry(Rule->GeneratingClause).C;
+    sup::Equation EdgeEq(Rule->Lhs, Rule->Rhs);
+    for (const sup::Equation &E : Gen.neg())
+      Neg.push_back(E);
+    for (const sup::Equation &E : Gen.pos())
+      if (E != EdgeEq)
+        Pos.push_back(E);
+  }
+
+  // N2/N4: drop trivial lseg(x, x) atoms.
+  Sigma.erase(std::remove_if(
+                  Sigma.begin(), Sigma.end(),
+                  [](const sl::HeapAtom &A) { return A.isTrivialLseg(); }),
+              Sigma.end());
+
+  // Keep the pure parts canonical (sorted, deduplicated).
+  std::sort(Neg.begin(), Neg.end());
+  Neg.erase(std::unique(Neg.begin(), Neg.end()), Neg.end());
+  std::sort(Pos.begin(), Pos.end());
+  Pos.erase(std::unique(Pos.begin(), Pos.end()), Pos.end());
+}
+
+} // namespace
+
+PosSpatialClause core::normalize(const sup::Saturation &Sat,
+                                 const GroundRewriteSystem &R,
+                                 const PosSpatialClause &C) {
+  PosSpatialClause Out = C;
+  normalizeParts(Sat, R, Out.Neg, Out.Pos, Out.Sigma);
+  return Out;
+}
+
+NegSpatialClause core::normalize(const sup::Saturation &Sat,
+                                 const GroundRewriteSystem &R,
+                                 const NegSpatialClause &C) {
+  NegSpatialClause Out = C;
+  normalizeParts(Sat, R, Out.Neg, Out.Pos, Out.Sigma);
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- core/Normalization.h - Rules N1-N4 -----------------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The normalization inferences of Figure 1, applied deterministically
+/// along the model R (Lemma 4.2): every constant of the spatial atom
+/// is rewritten to its R-normal form via N1/N3 — merging, for each
+/// rewrite edge used, the residual pure literals of the generating
+/// clause g(x ⇒ y) into the clause — and trivial lseg(x, x) atoms are
+/// then discarded via N2/N4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_CORE_NORMALIZATION_H
+#define SLP_CORE_NORMALIZATION_H
+
+#include "core/SpatialClause.h"
+#include "superposition/Saturation.h"
+
+namespace slp {
+namespace core {
+
+/// Norm(⟨R, g⟩; C) for a positive spatial clause Γ → ∆, Σ.
+PosSpatialClause normalize(const sup::Saturation &Sat,
+                           const GroundRewriteSystem &R,
+                           const PosSpatialClause &C);
+
+/// Norm(⟨R, g⟩; C) for a negative spatial clause Γ, Σ → ∆.
+NegSpatialClause normalize(const sup::Saturation &Sat,
+                           const GroundRewriteSystem &R,
+                           const NegSpatialClause &C);
+
+} // namespace core
+} // namespace slp
+
+#endif // SLP_CORE_NORMALIZATION_H

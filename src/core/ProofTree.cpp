@@ -1,0 +1,67 @@
+//===- core/ProofTree.cpp - Figure-4 style proof trees -----------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProofTree.h"
+
+#include <set>
+#include <sstream>
+
+using namespace slp;
+using namespace slp::core;
+
+namespace {
+
+void visit(const sup::Saturation &Sat, const std::vector<std::string> &Labels,
+           uint32_t Id, std::set<uint32_t> &Seen,
+           std::vector<ProofStep> &Out) {
+  if (Seen.count(Id))
+    return;
+  Seen.insert(Id);
+
+  const sup::ClauseEntry &E = Sat.entry(Id);
+  for (uint32_t Parent : E.J.Parents)
+    visit(Sat, Labels, Parent, Seen, Out);
+
+  ProofStep Step;
+  Step.ClauseId = Id;
+  Step.ClauseText = E.C.str(Sat.terms());
+  std::ostringstream OS;
+  if (E.J.Kind == sup::RuleKind::Input) {
+    OS << "input";
+    if (E.J.ExternalTag != ~0u && E.J.ExternalTag < Labels.size())
+      OS << ": " << Labels[E.J.ExternalTag];
+  } else {
+    OS << ruleKindName(E.J.Kind) << '(';
+    for (size_t I = 0; I != E.J.Parents.size(); ++I)
+      OS << (I ? ", " : "") << E.J.Parents[I];
+    OS << ')';
+  }
+  Step.RuleText = OS.str();
+  Out.push_back(std::move(Step));
+}
+
+} // namespace
+
+std::vector<ProofStep>
+core::extractProof(const sup::Saturation &Sat,
+                   const std::vector<std::string> &Labels, uint32_t RootId) {
+  std::set<uint32_t> Seen;
+  std::vector<ProofStep> Out;
+  visit(Sat, Labels, RootId, Seen, Out);
+  return Out;
+}
+
+std::string core::renderRefutation(const sup::Saturation &Sat,
+                                   const std::vector<std::string> &Labels) {
+  assert(Sat.hasEmptyClause() && "no refutation to render");
+  std::vector<ProofStep> Steps =
+      extractProof(Sat, Labels, Sat.emptyClauseId());
+  std::ostringstream OS;
+  for (const ProofStep &S : Steps)
+    OS << '[' << S.ClauseId << "] " << S.ClauseText << "   <- " << S.RuleText
+       << '\n';
+  return OS.str();
+}

@@ -1,0 +1,49 @@
+//===- core/SpatialClause.h - Spatial clause forms --------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two spatial clause shapes of §3.2: positive spatial clauses
+/// Γ → ∆, Σ and negative spatial clauses Γ, Σ → ∆, where Γ/∆ are sets
+/// of pure equations and Σ is a spatial atom. Clauses of the SLP
+/// algorithm carry at most one spatial atom.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_CORE_SPATIALCLAUSE_H
+#define SLP_CORE_SPATIALCLAUSE_H
+
+#include "sl/Formula.h"
+#include "superposition/Literal.h"
+
+#include <string>
+#include <vector>
+
+namespace slp {
+namespace core {
+
+/// Γ → ∆, Σ: asserts that if Γ holds then ∆ holds or Σ describes the
+/// (whole) heap. The clause ∅ → Σ of cnf(E) has this shape.
+struct PosSpatialClause {
+  std::vector<sup::Equation> Neg; ///< Γ.
+  std::vector<sup::Equation> Pos; ///< ∆.
+  sl::SpatialFormula Sigma;       ///< Σ.
+};
+
+/// Γ, Σ → ∆: asserts that if Γ holds and Σ describes the heap then ∆
+/// holds. The clause Π'+, Σ' → Π'− of cnf(E) has this shape.
+struct NegSpatialClause {
+  std::vector<sup::Equation> Neg; ///< Γ (pure part only).
+  std::vector<sup::Equation> Pos; ///< ∆.
+  sl::SpatialFormula Sigma;       ///< Σ.
+};
+
+std::string str(const TermTable &Terms, const PosSpatialClause &C);
+std::string str(const TermTable &Terms, const NegSpatialClause &C);
+
+} // namespace core
+} // namespace slp
+
+#endif // SLP_CORE_SPATIALCLAUSE_H

@@ -1,0 +1,34 @@
+//===- gen/Cloning.h - Table 3 'clone' amplification ------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cloning technique of §6: from Π ∧ Σ → Π' ∧ Σ' build
+///
+///   Π1 ∧ … ∧ Πn ∧ Σ1 * … * Σn → Π'1 ∧ … ∧ Π'n ∧ Σ'1 * … * Σ'n
+///
+/// where each copy renames the variables apart. The result is
+/// equivalent to the original but n times larger, stressing prover
+/// scalability on realistically-shaped entailments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_GEN_CLONING_H
+#define SLP_GEN_CLONING_H
+
+#include "sl/Formula.h"
+
+namespace slp {
+namespace gen {
+
+/// Builds the \p Copies-fold clone of \p E (Copies >= 1). nil is
+/// shared; every other constant x becomes x__k in copy k.
+sl::Entailment cloneEntailment(TermTable &Terms, const sl::Entailment &E,
+                               unsigned Copies);
+
+} // namespace gen
+} // namespace slp
+
+#endif // SLP_GEN_CLONING_H

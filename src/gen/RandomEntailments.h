@@ -1,0 +1,43 @@
+//===- gen/RandomEntailments.h - §6 random distributions --------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two random entailment distributions of the paper's evaluation:
+///
+/// Distribution 1 (Table 1): instances of the form Π ∧ Σ → ⊥ over
+/// variables x1..xn, with lseg(xi, xj) included with probability
+/// P_lseg (i != j) and xi !' xj with probability P_ne (i < j). These
+/// are decided by the pure/W inner loop alone.
+///
+/// Distribution 2 (Table 2): Σ is a random functional graph built
+/// from a fixed-point-free permutation π, each edge being next with
+/// probability p_next and lseg otherwise; Σ' folds random maximal
+/// paths of Σ into single lsegs. The entailment Σ → Σ' stresses the
+/// unfolding inferences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_GEN_RANDOMENTAILMENTS_H
+#define SLP_GEN_RANDOMENTAILMENTS_H
+
+#include "sl/Formula.h"
+#include "support/Random.h"
+
+namespace slp {
+namespace gen {
+
+/// Table 1 generator: Π ∧ Σ → ⊥ (⊥ encoded as nil !' nil).
+sl::Entailment distribution1(TermTable &Terms, SplitMix64 &Rng,
+                             unsigned NumVars, double PLseg, double PNe);
+
+/// Table 2 generator: Σ → fold(Σ).
+sl::Entailment distribution2(TermTable &Terms, SplitMix64 &Rng,
+                             unsigned NumVars, double PNext);
+
+} // namespace gen
+} // namespace slp
+
+#endif // SLP_GEN_RANDOMENTAILMENTS_H

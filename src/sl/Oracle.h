@@ -1,0 +1,50 @@
+//===- sl/Oracle.h - Brute-force bounded oracle -----------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A brute-force semantic oracle for small entailments: enumerates all
+/// stacks (set partitions of the program variables, one class pinned
+/// to nil) and all heaps over the class locations plus a configurable
+/// number of anonymous locations, looking for a countermodel. The
+/// completeness proof of the paper (Lemma 4.4) builds countermodels
+/// that use at most one location outside the variable classes, so with
+/// ExtraLocations >= 1 the search is exhaustive for this fragment; we
+/// default to 2 for margin. Exponential: intended for tests only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SL_ORACLE_H
+#define SLP_SL_ORACLE_H
+
+#include "sl/Semantics.h"
+
+#include <optional>
+
+namespace slp {
+namespace sl {
+
+/// A countermodel found by the oracle.
+struct CounterModel {
+  Stack S;
+  Heap H;
+};
+
+/// Exhaustively searches for an interpretation satisfying Π ∧ Σ but
+/// not Π' ∧ Σ'. Returns nullopt if none exists within the bound.
+std::optional<CounterModel>
+searchCounterexample(const TermTable &Terms, const Entailment &E,
+                     unsigned ExtraLocations = 2);
+
+/// Convenience wrapper: true iff no bounded countermodel exists.
+inline bool oracleSaysValid(const TermTable &Terms, const Entailment &E,
+                            unsigned ExtraLocations = 2) {
+  return !searchCounterexample(Terms, E, ExtraLocations).has_value();
+}
+
+} // namespace sl
+} // namespace slp
+
+#endif // SLP_SL_ORACLE_H

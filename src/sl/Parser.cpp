@@ -1,0 +1,326 @@
+//===- sl/Parser.cpp - Concrete syntax for entailments ---------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sl/Parser.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace slp;
+using namespace slp::sl;
+
+std::string ParseError::render() const {
+  std::ostringstream OS;
+  OS << Line << ':' << Column << ": error: " << Message;
+  return OS.str();
+}
+
+namespace {
+
+enum class TokKind {
+  Ident,
+  Eq,       // = or ==
+  Ne,       // !=
+  Arrow,    // ->
+  Star,     // *
+  Amp,      // & (also /\)
+  Turnstile,// |- or |=
+  LParen,
+  RParen,
+  Comma,
+  End,
+};
+
+struct Token {
+  TokKind Kind;
+  std::string_view Text;
+  unsigned Line;
+  unsigned Column;
+};
+
+class Lexer {
+public:
+  Lexer(std::string_view Input, unsigned StartLine)
+      : Input(Input), Line(StartLine) {}
+
+  Token next() {
+    skipTrivia();
+    unsigned TokLine = Line, TokCol = Column;
+    auto Make = [&](TokKind K, size_t Len) {
+      Token T{K, Input.substr(Pos, Len), TokLine, TokCol};
+      Pos += Len;
+      Column += static_cast<unsigned>(Len);
+      return T;
+    };
+    if (Pos >= Input.size())
+      return Make(TokKind::End, 0);
+    char C = Input[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Len = 1;
+      while (Pos + Len < Input.size() &&
+             (std::isalnum(static_cast<unsigned char>(Input[Pos + Len])) ||
+              Input[Pos + Len] == '_' || Input[Pos + Len] == '\''))
+        ++Len;
+      return Make(TokKind::Ident, Len);
+    }
+    if (startsWith("|-") || startsWith("|="))
+      return Make(TokKind::Turnstile, 2);
+    if (startsWith("=="))
+      return Make(TokKind::Eq, 2);
+    if (startsWith("!="))
+      return Make(TokKind::Ne, 2);
+    if (startsWith("->"))
+      return Make(TokKind::Arrow, 2);
+    if (startsWith("/\\"))
+      return Make(TokKind::Amp, 2);
+    switch (C) {
+    case '=':
+      return Make(TokKind::Eq, 1);
+    case '*':
+      return Make(TokKind::Star, 1);
+    case '&':
+      return Make(TokKind::Amp, 1);
+    case '(':
+      return Make(TokKind::LParen, 1);
+    case ')':
+      return Make(TokKind::RParen, 1);
+    case ',':
+      return Make(TokKind::Comma, 1);
+    default:
+      return Make(TokKind::End, 0); // Caller reports via expect().
+    }
+  }
+
+  unsigned line() const { return Line; }
+  unsigned column() const { return Column; }
+  bool atGarbage() const { return Pos < Input.size(); }
+
+private:
+  bool startsWith(std::string_view S) const {
+    return Input.substr(Pos, S.size()) == S;
+  }
+
+  void skipTrivia() {
+    while (Pos < Input.size()) {
+      char C = Input[Pos];
+      if (C == '\n') {
+        ++Line;
+        Column = 1;
+        ++Pos;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Column;
+        ++Pos;
+        continue;
+      }
+      if (C == '#' || startsWith("//")) {
+        while (Pos < Input.size() && Input[Pos] != '\n') {
+          ++Pos;
+          ++Column;
+        }
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string_view Input;
+  size_t Pos = 0;
+  unsigned Line;
+  unsigned Column = 1;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+public:
+  Parser(TermTable &Terms, std::string_view Input, unsigned StartLine)
+      : Terms(Terms), Lex(Input, StartLine) {
+    Tok = Lex.next();
+  }
+
+  ParseResult parseEntailment() {
+    Entailment E;
+    if (!parseAssertion(E.Lhs, /*AllowFalse=*/false))
+      return {std::nullopt, Err};
+    if (!expect(TokKind::Turnstile, "'|-'"))
+      return {std::nullopt, Err};
+    if (!parseAssertion(E.Rhs, /*AllowFalse=*/true))
+      return {std::nullopt, Err};
+    if (Tok.Kind != TokKind::End) {
+      fail("unexpected trailing input");
+      return {std::nullopt, Err};
+    }
+    return {E, std::nullopt};
+  }
+
+private:
+  void advance() { Tok = Lex.next(); }
+
+  bool fail(std::string Message) {
+    if (!Err)
+      Err = ParseError{std::move(Message), Tok.Line, Tok.Column};
+    return false;
+  }
+
+  bool expect(TokKind K, const char *What) {
+    if (Tok.Kind != K)
+      return fail(std::string("expected ") + What);
+    advance();
+    return true;
+  }
+
+  const Term *parseVar() {
+    if (Tok.Kind != TokKind::Ident) {
+      fail("expected a program variable or nil");
+      return nullptr;
+    }
+    const Term *T = Terms.constant(Tok.Text);
+    advance();
+    return T;
+  }
+
+  /// assertion := "true" | "false" | atom (("&"|"*") atom)*
+  bool parseAssertion(Assertion &Out, bool AllowFalse) {
+    if (Tok.Kind == TokKind::Ident && Tok.Text == "true") {
+      advance();
+      if (Tok.Kind == TokKind::Amp || Tok.Kind == TokKind::Star) {
+        advance();
+        return parseAtoms(Out, AllowFalse);
+      }
+      return true;
+    }
+    return parseAtoms(Out, AllowFalse);
+  }
+
+  bool parseAtoms(Assertion &Out, bool AllowFalse) {
+    for (;;) {
+      if (!parseAtom(Out, AllowFalse))
+        return false;
+      if (Tok.Kind == TokKind::Amp || Tok.Kind == TokKind::Star) {
+        advance();
+        continue;
+      }
+      return true;
+    }
+  }
+
+  bool parseAtom(Assertion &Out, bool AllowFalse) {
+    if (Tok.Kind != TokKind::Ident)
+      return fail("expected an atom");
+
+    if (Tok.Text == "emp") {
+      advance();
+      return true;
+    }
+    if (Tok.Text == "false") {
+      if (!AllowFalse)
+        return fail("'false' is only allowed on the right-hand side");
+      advance();
+      // ⊥ := nil != nil (with an empty spatial part).
+      Out.Pure.push_back(PureAtom::ne(Terms.nil(), Terms.nil()));
+      return true;
+    }
+    if (Tok.Text == "next" || Tok.Text == "lseg") {
+      bool IsNext = Tok.Text == "next";
+      advance();
+      if (!expect(TokKind::LParen, "'('"))
+        return false;
+      const Term *A = parseVar();
+      if (!A)
+        return false;
+      if (!expect(TokKind::Comma, "','"))
+        return false;
+      const Term *V = parseVar();
+      if (!V)
+        return false;
+      if (!expect(TokKind::RParen, "')'"))
+        return false;
+      Out.Spatial.push_back(IsNext ? HeapAtom::next(A, V)
+                                   : HeapAtom::lseg(A, V));
+      return true;
+    }
+
+    // ident (= | != | ->) ident
+    const Term *L = parseVar();
+    if (!L)
+      return false;
+    switch (Tok.Kind) {
+    case TokKind::Eq:
+      advance();
+      break;
+    case TokKind::Ne: {
+      advance();
+      const Term *R = parseVar();
+      if (!R)
+        return false;
+      Out.Pure.push_back(PureAtom::ne(L, R));
+      return true;
+    }
+    case TokKind::Arrow: {
+      advance();
+      const Term *R = parseVar();
+      if (!R)
+        return false;
+      Out.Spatial.push_back(HeapAtom::next(L, R));
+      return true;
+    }
+    default:
+      return fail("expected '=', '!=' or '->' after variable");
+    }
+    const Term *R = parseVar();
+    if (!R)
+      return false;
+    Out.Pure.push_back(PureAtom::eq(L, R));
+    return true;
+  }
+
+  TermTable &Terms;
+  Lexer Lex;
+  Token Tok;
+  std::optional<ParseError> Err;
+};
+
+} // namespace
+
+ParseResult sl::parseEntailment(TermTable &Terms, std::string_view Input) {
+  Parser P(Terms, Input, /*StartLine=*/1);
+  return P.parseEntailment();
+}
+
+FileParseResult sl::parseEntailmentFile(TermTable &Terms,
+                                        std::string_view Input) {
+  FileParseResult Result;
+  unsigned LineNo = 0;
+  size_t Pos = 0;
+  while (Pos <= Input.size()) {
+    size_t Eol = Input.find('\n', Pos);
+    std::string_view Line = Input.substr(
+        Pos, Eol == std::string_view::npos ? std::string_view::npos
+                                           : Eol - Pos);
+    ++LineNo;
+
+    // Skip blank lines and comment-only lines.
+    size_t NonWs = Line.find_first_not_of(" \t\r");
+    bool Blank = NonWs == std::string_view::npos || Line[NonWs] == '#' ||
+                 Line.substr(NonWs, 2) == "//";
+    if (!Blank) {
+      Parser P(Terms, Line, LineNo);
+      ParseResult R = P.parseEntailment();
+      if (!R.ok()) {
+        Result.Error = R.Error;
+        Result.Error->Line = LineNo;
+        return Result;
+      }
+      Result.Entailments.push_back(std::move(*R.Value));
+    }
+
+    if (Eol == std::string_view::npos)
+      break;
+    Pos = Eol + 1;
+  }
+  return Result;
+}

@@ -1,0 +1,101 @@
+//===- superposition/Clause.cpp - Pure clauses ----------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "superposition/Clause.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace slp;
+using namespace slp::sup;
+
+const char *slp::sup::ruleKindName(RuleKind K) {
+  switch (K) {
+  case RuleKind::Input:
+    return "input";
+  case RuleKind::SupLeft:
+    return "sup-left";
+  case RuleKind::SupRight:
+    return "sup-right";
+  case RuleKind::EqRes:
+    return "eq-res";
+  case RuleKind::EqFact:
+    return "eq-fact";
+  case RuleKind::Demod:
+    return "demod";
+  }
+  return "?";
+}
+
+static void canonicalize(std::vector<Equation> &Eqs) {
+  std::sort(Eqs.begin(), Eqs.end());
+  Eqs.erase(std::unique(Eqs.begin(), Eqs.end()), Eqs.end());
+}
+
+Clause::Clause(std::vector<Equation> Neg, std::vector<Equation> Pos)
+    : NegEqs(std::move(Neg)), PosEqs(std::move(Pos)) {
+  canonicalize(NegEqs);
+  canonicalize(PosEqs);
+  uint64_t H = hashValue(0x5157);
+  for (const Equation &E : NegEqs)
+    H = hashCombine(H, E.hash() * 2 + 1);
+  for (const Equation &E : PosEqs)
+    H = hashCombine(H, E.hash() * 2);
+  Hash = H;
+}
+
+bool Clause::isTautology() const {
+  for (const Equation &E : PosEqs)
+    if (E.trivial())
+      return true;
+  // Both sides are sorted; a linear sweep finds common equations.
+  auto NI = NegEqs.begin();
+  auto PI = PosEqs.begin();
+  while (NI != NegEqs.end() && PI != PosEqs.end()) {
+    if (*NI == *PI)
+      return true;
+    if (*NI < *PI)
+      ++NI;
+    else
+      ++PI;
+  }
+  return false;
+}
+
+static bool sortedIncludes(const std::vector<Equation> &Small,
+                           const std::vector<Equation> &Big) {
+  return std::includes(Big.begin(), Big.end(), Small.begin(), Small.end());
+}
+
+bool Clause::subsumes(const Clause &Other) const {
+  if (NegEqs.size() > Other.NegEqs.size() ||
+      PosEqs.size() > Other.PosEqs.size())
+    return false;
+  return sortedIncludes(NegEqs, Other.NegEqs) &&
+         sortedIncludes(PosEqs, Other.PosEqs);
+}
+
+std::string Clause::str(const TermTable &Terms) const {
+  if (empty())
+    return "[]";
+  std::ostringstream OS;
+  bool First = true;
+  for (const Equation &E : NegEqs) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << Terms.str(E.lhs()) << " ' " << Terms.str(E.rhs());
+  }
+  OS << " -> ";
+  First = true;
+  for (const Equation &E : PosEqs) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << Terms.str(E.lhs()) << " ' " << Terms.str(E.rhs());
+  }
+  return OS.str();
+}

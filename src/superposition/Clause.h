@@ -1,0 +1,100 @@
+//===- superposition/Clause.h - Pure clauses --------------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pure clauses Γ → ∆ in the sense of §3.2: Γ is the set of equations
+/// occurring negatively, ∆ the set occurring positively. Clauses are
+/// kept in a canonical sorted, deduplicated form so that identity,
+/// subsumption and fixpoint detection are cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPERPOSITION_CLAUSE_H
+#define SLP_SUPERPOSITION_CLAUSE_H
+
+#include "superposition/Literal.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slp {
+namespace sup {
+
+/// How a clause entered the clause database; used to reconstruct
+/// Figure-4 style proof trees spanning both calculi.
+enum class RuleKind : uint8_t {
+  Input,         ///< Supplied by the SL layer (cnf, N, W, U/SR).
+  SupLeft,       ///< Superposition into a negative literal.
+  SupRight,      ///< Superposition into a positive literal.
+  EqRes,         ///< Equality resolution (reflexivity).
+  EqFact,        ///< Equality factoring.
+  Demod,         ///< Demodulation by unit equations.
+};
+
+/// Names a RuleKind for proof printing.
+const char *ruleKindName(RuleKind K);
+
+/// A derivation record: the rule and the ids of premise clauses.
+struct Justification {
+  RuleKind Kind = RuleKind::Input;
+  std::vector<uint32_t> Parents;
+  /// Opaque tag the SL layer uses to attach its own provenance to
+  /// Input clauses (e.g. "derived by W4 from clause C").
+  uint32_t ExternalTag = ~0u;
+};
+
+/// An immutable pure clause in canonical form.
+class Clause {
+public:
+  /// Builds the canonical form: sorts and deduplicates both sides.
+  Clause(std::vector<Equation> Neg, std::vector<Equation> Pos);
+
+  /// Equations occurring negatively (the set Γ).
+  const std::vector<Equation> &neg() const { return NegEqs; }
+  /// Equations occurring positively (the set ∆).
+  const std::vector<Equation> &pos() const { return PosEqs; }
+
+  bool empty() const { return NegEqs.empty() && PosEqs.empty(); }
+  size_t size() const { return NegEqs.size() + PosEqs.size(); }
+
+  /// A tautology is valid in every interpretation: either some s ' s
+  /// occurs positively, or Γ and ∆ intersect.
+  bool isTautology() const;
+
+  /// True iff this clause subsumes \p Other (Γ ⊆ Γ' and ∆ ⊆ ∆').
+  bool subsumes(const Clause &Other) const;
+
+  /// Structural hash of the canonical form.
+  uint64_t fingerprint() const { return Hash; }
+
+  friend bool operator==(const Clause &A, const Clause &B) {
+    return A.NegEqs == B.NegEqs && A.PosEqs == B.PosEqs;
+  }
+
+  /// Renders e.g. "a ' b, c ' d -> e ' f" ("[]" for the empty clause).
+  std::string str(const TermTable &Terms) const;
+
+private:
+  std::vector<Equation> NegEqs;
+  std::vector<Equation> PosEqs;
+  uint64_t Hash;
+};
+
+/// A clause together with its database id and provenance.
+struct ClauseEntry {
+  Clause C;
+  uint32_t Id;
+  Justification J;
+  /// True once the clause has been deleted as redundant (subsumed or
+  /// demodulated away); kept for proof reconstruction.
+  bool Deleted = false;
+};
+
+} // namespace sup
+} // namespace slp
+
+#endif // SLP_SUPERPOSITION_CLAUSE_H

@@ -1,0 +1,74 @@
+//===- superposition/ClauseOrdering.h - Literal/clause orders ---*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The literal and clause orderings that constrain the inferences of
+/// the calculus I and drive the model-generation pass. A ground
+/// literal s ' t (s ⪰ t) is encoded as the multiset {s, t} when
+/// positive and {s, s, t, t} when negative; for a total term order the
+/// induced literal order reduces to the lexicographic comparison of
+/// (max side, polarity, min side) with negative > positive. The clause
+/// order is the multiset extension, computed by comparing the
+/// descending-sorted literal sequences lexicographically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPERPOSITION_CLAUSEORDERING_H
+#define SLP_SUPERPOSITION_CLAUSEORDERING_H
+
+#include "superposition/Clause.h"
+#include "term/Ordering.h"
+
+namespace slp {
+namespace sup {
+
+/// A literal = equation + polarity, as needed by the orderings.
+struct OrientedLiteral {
+  const Term *Max; ///< KBO-larger side.
+  const Term *Min; ///< KBO-smaller side (equal to Max for s ' s).
+  bool Negative;
+};
+
+/// Computes literal/clause comparisons relative to a fixed KBO.
+class ClauseOrdering {
+public:
+  explicit ClauseOrdering(const TermOrder &Ord) : Ord(Ord) {}
+
+  OrientedLiteral orient(const Equation &E, bool Negative) const {
+    const Term *Max = Ord.max(E.lhs(), E.rhs());
+    const Term *Min = E.other(Max);
+    return {Max, Min, Negative};
+  }
+
+  /// Total order on ground literals (multiset encoding; see \file).
+  Order compareLiterals(const OrientedLiteral &A,
+                        const OrientedLiteral &B) const;
+
+  /// Multiset extension to clauses; total on canonical clauses.
+  Order compareClauses(const Clause &A, const Clause &B) const;
+
+  /// True if no literal of \p C is greater than \p L ("maximal").
+  bool isMaximal(const OrientedLiteral &L, const Clause &C) const;
+
+  /// True if no literal of \p C is greater than or equal to \p L,
+  /// other than one occurrence of \p L itself ("strictly maximal").
+  /// Canonical clauses carry each literal once, so this reduces to:
+  /// every other literal is strictly smaller.
+  bool isStrictlyMaximal(const OrientedLiteral &L, const Clause &C) const;
+
+  const TermOrder &termOrder() const { return Ord; }
+
+private:
+  /// Descending-sorted oriented literal list of a clause.
+  std::vector<OrientedLiteral> sortedLiterals(const Clause &C) const;
+
+  const TermOrder &Ord;
+};
+
+} // namespace sup
+} // namespace slp
+
+#endif // SLP_SUPERPOSITION_CLAUSEORDERING_H

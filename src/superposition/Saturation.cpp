@@ -1,0 +1,621 @@
+//===- superposition/Saturation.cpp - Given-clause saturation -------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "superposition/Saturation.h"
+
+#include <algorithm>
+
+using namespace slp;
+using namespace slp::sup;
+
+//===----------------------------------------------------------------------===//
+// Clause intake
+//===----------------------------------------------------------------------===//
+
+Saturation::AddResult Saturation::addInput(std::vector<Equation> Neg,
+                                           std::vector<Equation> Pos,
+                                           uint32_t ExternalTag) {
+  Clause C(std::move(Neg), std::move(Pos));
+  if (C.isTautology()) {
+    ++Stats.Tautologies;
+    return {~0u, false};
+  }
+
+  // Duplicate handling: a live duplicate is not new; a *deleted*
+  // duplicate must be revived — its deletion was justified by clauses
+  // that may since have been deleted themselves (simplification chains
+  // can be circular), so dropping it could silently lose the fact.
+  auto [It, End] = Fingerprints.equal_range(C.fingerprint());
+  for (; It != End; ++It)
+    if (DB[It->second].C == C) {
+      if (!DB[It->second].Deleted)
+        return {It->second, false};
+      DB[It->second].Deleted = false;
+      Passive.push(
+          {static_cast<uint32_t>(DB[It->second].C.size()), It->second});
+      return {It->second, true};
+    }
+
+  if (isForwardSubsumed(C)) {
+    ++Stats.SubsumedFwd;
+    return {~0u, false};
+  }
+
+  Justification J;
+  J.Kind = RuleKind::Input;
+  J.ExternalTag = ExternalTag;
+  uint32_t Id = static_cast<uint32_t>(DB.size());
+  bool Empty = C.empty();
+  uint32_t Size = static_cast<uint32_t>(C.size());
+  Fingerprints.emplace(C.fingerprint(), Id);
+  DB.push_back({std::move(C), Id, std::move(J)});
+  Passive.push({Size, Id});
+  if (Empty && !EmptyClauseId)
+    EmptyClauseId = Id;
+  return {Id, true};
+}
+
+std::optional<uint32_t> Saturation::keepDerived(Clause C, Justification J) {
+  ++Stats.Derived;
+  if (C.isTautology()) {
+    ++Stats.Tautologies;
+    return std::nullopt;
+  }
+  auto [It, End] = Fingerprints.equal_range(C.fingerprint());
+  for (; It != End; ++It)
+    if (DB[It->second].C == C) {
+      // Revive deleted duplicates (see addInput for the rationale).
+      if (DB[It->second].Deleted) {
+        DB[It->second].Deleted = false;
+        Passive.push(
+            {static_cast<uint32_t>(DB[It->second].C.size()), It->second});
+        return It->second;
+      }
+      return std::nullopt;
+    }
+  if (isForwardSubsumed(C)) {
+    ++Stats.SubsumedFwd;
+    return std::nullopt;
+  }
+  uint32_t Id = static_cast<uint32_t>(DB.size());
+  bool Empty = C.empty();
+  uint32_t Size = static_cast<uint32_t>(C.size());
+  Fingerprints.emplace(C.fingerprint(), Id);
+  DB.push_back({std::move(C), Id, std::move(J)});
+  Passive.push({Size, Id});
+  ++Stats.Kept;
+  if (Empty && !EmptyClauseId)
+    EmptyClauseId = Id;
+  return Id;
+}
+
+bool Saturation::isForwardSubsumed(const Clause &C) const {
+  if (!Opts.Subsumption)
+    return false;
+  for (const ClauseEntry &E : DB)
+    if (!E.Deleted && E.C.subsumes(C))
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Demodulation
+//===----------------------------------------------------------------------===//
+
+void Saturation::maybeAddDemodulator(uint32_t Id) {
+  if (!Opts.Demodulation)
+    return;
+  const Clause &C = DB[Id].C;
+  if (!C.neg().empty() || C.pos().size() != 1)
+    return;
+  const Equation &E = C.pos().front();
+  if (E.trivial())
+    return;
+  const Term *L = Ordering.termOrder().max(E.lhs(), E.rhs());
+  const Term *R = E.other(L);
+  if (Demod.reducibleAtRoot(L))
+    return; // Keep the system left-reduced; superposition joins them.
+  Demod.addRule(L, R, Id);
+  DemodOwned.emplace(Id, L);
+
+  // Backward demodulation: rewrite active clauses reducible by the new
+  // unit and send the results back through the queue.
+  for (uint32_t ActId : Active) {
+    if (ActId == Id || DB[ActId].Deleted)
+      continue;
+    auto Rewritten = demodClause(DB[ActId].C, ActId);
+    if (!Rewritten)
+      continue;
+    deleteClause(ActId);
+    ++Stats.Demodulated;
+    Justification J;
+    J.Kind = RuleKind::Demod;
+    J.Parents.push_back(ActId);
+    for (uint32_t U : Rewritten->second)
+      J.Parents.push_back(U);
+    keepDerived(std::move(Rewritten->first), std::move(J));
+  }
+}
+
+const Term *Saturation::demodTerm(const Term *T, uint32_t SelfId,
+                                  std::vector<uint32_t> &Used) {
+  const Term *Current = T;
+  for (;;) {
+    if (Current->numArgs() != 0) {
+      std::vector<const Term *> NewArgs;
+      NewArgs.reserve(Current->numArgs());
+      bool Changed = false;
+      for (const Term *A : Current->args()) {
+        const Term *NA = demodTerm(A, SelfId, Used);
+        Changed |= (NA != A);
+        NewArgs.push_back(NA);
+      }
+      if (Changed)
+        Current = Terms.make(Current->symbol(), NewArgs);
+    }
+    const RewriteRule *Rule = Demod.ruleFor(Current);
+    if (!Rule || Rule->GeneratingClause == SelfId)
+      return Current;
+    Used.push_back(Rule->GeneratingClause);
+    Current = Rule->Rhs;
+  }
+}
+
+std::optional<std::pair<Clause, std::vector<uint32_t>>>
+Saturation::demodClause(const Clause &C, uint32_t SelfId) {
+  std::vector<uint32_t> Used;
+  bool Changed = false;
+  std::vector<Equation> Neg, Pos;
+  Neg.reserve(C.neg().size());
+  Pos.reserve(C.pos().size());
+  for (const Equation &E : C.neg()) {
+    const Term *L = demodTerm(E.lhs(), SelfId, Used);
+    const Term *R = demodTerm(E.rhs(), SelfId, Used);
+    Changed |= (L != E.lhs() || R != E.rhs());
+    Neg.emplace_back(L, R);
+  }
+  for (const Equation &E : C.pos()) {
+    const Term *L = demodTerm(E.lhs(), SelfId, Used);
+    const Term *R = demodTerm(E.rhs(), SelfId, Used);
+    Changed |= (L != E.lhs() || R != E.rhs());
+    Pos.emplace_back(L, R);
+  }
+  if (!Changed)
+    return std::nullopt;
+  std::sort(Used.begin(), Used.end());
+  Used.erase(std::unique(Used.begin(), Used.end()), Used.end());
+  return std::make_pair(Clause(std::move(Neg), std::move(Pos)),
+                        std::move(Used));
+}
+
+void Saturation::deleteClause(uint32_t Id) {
+  DB[Id].Deleted = true;
+  auto It = DemodOwned.find(Id);
+  if (It == DemodOwned.end())
+    return;
+  Demod.removeRuleFor(It->second);
+  DemodOwned.erase(It);
+}
+
+//===----------------------------------------------------------------------===//
+// Main loop
+//===----------------------------------------------------------------------===//
+
+void Saturation::backwardSimplify(uint32_t NewId) {
+  if (!Opts.Subsumption)
+    return;
+  const Clause &C = DB[NewId].C;
+  for (uint32_t ActId : Active) {
+    if (ActId == NewId || DB[ActId].Deleted)
+      continue;
+    if (C.subsumes(DB[ActId].C)) {
+      deleteClause(ActId);
+      ++Stats.SubsumedBwd;
+    }
+  }
+}
+
+SatResult Saturation::saturate(Fuel &F) {
+  while (!Passive.empty() || EmptyClauseId) {
+    if (EmptyClauseId)
+      return SatResult::Unsatisfiable;
+    if (!F.consume())
+      return SatResult::OutOfFuel;
+    stepGivenClause();
+  }
+  return SatResult::Saturated;
+}
+
+SatResult Saturation::saturateModelGuided(
+    Fuel &F, std::optional<GroundRewriteSystem> &Model) {
+  Model.reset();
+  // Model attempts cost O(clauses); on unsatisfiable sets they never
+  // succeed, so amortize them geometrically against inference steps.
+  uint64_t StepsUntilAttempt = 0;
+  uint64_t AttemptPeriod = 1;
+  for (;;) {
+    if (EmptyClauseId)
+      return SatResult::Unsatisfiable;
+
+    if (StepsUntilAttempt == 0 || Passive.empty()) {
+      // Attempt a certified model of everything stored so far.
+      std::vector<uint32_t> Ids = allStored();
+      GroundRewriteSystem R = genModelFrom(Ids);
+      if (modelCertified(R, Ids)) {
+        Model.emplace(std::move(R));
+        return SatResult::Saturated;
+      }
+      if (Passive.empty()) {
+        // Fully saturated, consistent, and still no certified model
+        // would contradict Theorem 3.1 / Lemma 3.9.
+        assert(false && "saturated consistent set must certify its model");
+        Model.emplace(std::move(R));
+        return SatResult::Saturated;
+      }
+      AttemptPeriod = std::min<uint64_t>(AttemptPeriod * 2, 64);
+      StepsUntilAttempt = AttemptPeriod;
+    }
+
+    if (!F.consume())
+      return SatResult::OutOfFuel;
+    stepGivenClause();
+    --StepsUntilAttempt;
+  }
+}
+
+void Saturation::stepGivenClause() {
+  // Pop the smallest passive clause (by literal count, then age);
+  // small clauses simplify more and reach the empty clause sooner.
+  uint32_t GivenId = Passive.top().second;
+  Passive.pop();
+  if (DB[GivenId].Deleted)
+    return;
+
+  // Forward demodulation: replace the given clause by its normal
+  // form and requeue.
+  if (auto Rewritten = demodClause(DB[GivenId].C, GivenId)) {
+    deleteClause(GivenId);
+    ++Stats.Demodulated;
+    Justification J;
+    J.Kind = RuleKind::Demod;
+    J.Parents.push_back(GivenId);
+    for (uint32_t U : Rewritten->second)
+      J.Parents.push_back(U);
+    keepDerived(std::move(Rewritten->first), std::move(J));
+    return;
+  }
+
+  const Clause &C = DB[GivenId].C;
+  if (C.isTautology()) {
+    deleteClause(GivenId);
+    ++Stats.Tautologies;
+    return;
+  }
+  // Another live clause may have arrived since this one was queued.
+  bool Subsumed = false;
+  if (Opts.Subsumption)
+    for (const ClauseEntry &E : DB)
+      if (!E.Deleted && E.Id != GivenId && E.C.subsumes(C)) {
+        Subsumed = true;
+        break;
+      }
+  if (Subsumed) {
+    deleteClause(GivenId);
+    ++Stats.SubsumedFwd;
+    return;
+  }
+  if (C.empty()) {
+    if (!EmptyClauseId)
+      EmptyClauseId = GivenId;
+    return;
+  }
+
+  backwardSimplify(GivenId);
+  Active.push_back(GivenId);
+  maybeAddDemodulator(GivenId);
+  generateInferences(GivenId);
+}
+
+std::vector<uint32_t> Saturation::allStored() const {
+  std::vector<uint32_t> Ids;
+  Ids.reserve(DB.size());
+  for (const ClauseEntry &E : DB)
+    if (!E.Deleted)
+      Ids.push_back(E.Id);
+  return Ids;
+}
+
+std::vector<uint32_t> Saturation::liveClauses() const {
+  std::vector<uint32_t> Live;
+  for (uint32_t Id : Active)
+    if (!DB[Id].Deleted)
+      Live.push_back(Id);
+  // Revived clauses may be activated twice; deduplicate.
+  std::sort(Live.begin(), Live.end());
+  Live.erase(std::unique(Live.begin(), Live.end()), Live.end());
+  return Live;
+}
+
+//===----------------------------------------------------------------------===//
+// Inference rules
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects the distinct subterm ids of \p T (including T itself).
+void collectSubtermIds(const Term *T, std::vector<uint32_t> &Out) {
+  if (std::find(Out.begin(), Out.end(), T->id()) != Out.end())
+    return;
+  Out.push_back(T->id());
+  for (const Term *A : T->args())
+    collectSubtermIds(A, Out);
+}
+
+} // namespace
+
+void Saturation::generateInferences(uint32_t GivenId) {
+  equalityResolution(GivenId);
+  equalityFactoring(GivenId);
+
+  const OrientedLiteral MG = maxLiteral(GivenId);
+
+  // Register the given clause in the partner indexes.
+  if (!MG.Negative && MG.Max != MG.Min)
+    FromByMax[MG.Max->id()].push_back(GivenId);
+  std::vector<uint32_t> Subterms;
+  collectSubtermIds(MG.Max, Subterms);
+  for (uint32_t Sub : Subterms)
+    IntoBySubterm[Sub].push_back(GivenId);
+
+  // Given as 'from': partners whose maximal side contains MG.Max.
+  if (!MG.Negative && MG.Max != MG.Min) {
+    auto It = IntoBySubterm.find(MG.Max->id());
+    if (It != IntoBySubterm.end()) {
+      // Copy: superpose() may grow the index maps.
+      std::vector<uint32_t> Partners = It->second;
+      for (uint32_t Partner : Partners) {
+        if (DB[GivenId].Deleted)
+          return;
+        if (Partner != GivenId && !DB[Partner].Deleted)
+          superpose(GivenId, Partner);
+      }
+    }
+  }
+
+  // Given as 'into': partners whose from-term is one of our subterms.
+  for (uint32_t Sub : Subterms) {
+    auto It = FromByMax.find(Sub);
+    if (It == FromByMax.end())
+      continue;
+    std::vector<uint32_t> Partners = It->second;
+    for (uint32_t Partner : Partners) {
+      if (DB[GivenId].Deleted)
+        return;
+      if (Partner != GivenId && !DB[Partner].Deleted)
+        superpose(Partner, GivenId);
+    }
+  }
+}
+
+void Saturation::replacements(const Term *In, const Term *Find,
+                              const Term *Repl,
+                              std::vector<const Term *> &Out) {
+  if (In == Find)
+    Out.push_back(Repl);
+  for (unsigned I = 0; I != In->numArgs(); ++I) {
+    std::vector<const Term *> ArgOut;
+    replacements(In->arg(I), Find, Repl, ArgOut);
+    for (const Term *NewArg : ArgOut) {
+      std::vector<const Term *> Args(In->args().begin(), In->args().end());
+      Args[I] = NewArg;
+      Out.push_back(Terms.make(In->symbol(), Args));
+    }
+  }
+}
+
+const OrientedLiteral &Saturation::maxLiteral(uint32_t Id) {
+  if (Id >= MaxLitCache.size())
+    MaxLitCache.resize(Id + 1);
+  std::optional<OrientedLiteral> &Slot = MaxLitCache[Id];
+  if (Slot)
+    return *Slot;
+  const Clause &C = DB[Id].C;
+  assert(!C.empty() && "the empty clause has no literals");
+  std::optional<OrientedLiteral> Best;
+  for (const Equation &E : C.neg()) {
+    OrientedLiteral L = Ordering.orient(E, /*Negative=*/true);
+    if (!Best || Ordering.compareLiterals(L, *Best) == Order::Greater)
+      Best = L;
+  }
+  for (const Equation &E : C.pos()) {
+    OrientedLiteral L = Ordering.orient(E, /*Negative=*/false);
+    if (!Best || Ordering.compareLiterals(L, *Best) == Order::Greater)
+      Best = L;
+  }
+  Slot = *Best;
+  return *Slot;
+}
+
+void Saturation::superpose(uint32_t FromId, uint32_t IntoId) {
+  // The 'from' premise needs a strictly maximal positive nontrivial
+  // equation l ' r with l > r: only the unique maximal literal
+  // qualifies. Self-superposition on that literal only yields
+  // tautologies, so identical premises are skipped.
+  if (FromId == IntoId)
+    return;
+  const OrientedLiteral MF = maxLiteral(FromId);
+  if (MF.Negative || MF.Max == MF.Min)
+    return;
+  // The 'into' literal must be (strictly) maximal in its clause: again
+  // only the unique maximal literal qualifies; rewriting happens in
+  // its larger side.
+  const OrientedLiteral MG = maxLiteral(IntoId);
+  std::vector<const Term *> Repls;
+  replacements(MG.Max, MF.Max, MF.Min, Repls);
+  if (Repls.empty())
+    return;
+
+  // Copies, not references: keepDerived grows the clause database.
+  const Clause F = DB[FromId].C;
+  const Clause G = DB[IntoId].C;
+  const Equation FromEq(MF.Max, MF.Min);
+  const Equation IntoEq(MG.Max, MG.Min);
+
+  for (const Term *NewMax : Repls) {
+    std::vector<Equation> Neg(F.neg());
+    std::vector<Equation> Pos;
+    for (const Equation &PE : F.pos())
+      if (PE != FromEq)
+        Pos.push_back(PE);
+    Justification J;
+    if (MG.Negative) {
+      // Superposition left: Γ1,Γ2, s[r]'t -> ∆1,∆2.
+      for (const Equation &NE : G.neg())
+        if (NE != IntoEq)
+          Neg.push_back(NE);
+      Neg.emplace_back(NewMax, MG.Min);
+      Pos.insert(Pos.end(), G.pos().begin(), G.pos().end());
+      J.Kind = RuleKind::SupLeft;
+    } else {
+      // Superposition right: Γ1,Γ2 -> ∆1,∆2, s[r]'t.
+      Neg.insert(Neg.end(), G.neg().begin(), G.neg().end());
+      for (const Equation &PE : G.pos())
+        if (PE != IntoEq)
+          Pos.push_back(PE);
+      Pos.emplace_back(NewMax, MG.Min);
+      J.Kind = RuleKind::SupRight;
+    }
+    J.Parents = {FromId, IntoId};
+    keepDerived(Clause(std::move(Neg), std::move(Pos)), std::move(J));
+  }
+}
+
+void Saturation::equalityResolution(uint32_t Id) {
+  // Only a maximal trivial negative equation s ' s resolves; with a
+  // unique maximal literal, check just that one.
+  const OrientedLiteral M = maxLiteral(Id);
+  if (!M.Negative || M.Max != M.Min)
+    return;
+  const Clause C = DB[Id].C; // Copy: keepDerived reallocates the DB.
+  const Equation MEq(M.Max, M.Min);
+  std::vector<Equation> Neg;
+  for (const Equation &NE : C.neg())
+    if (NE != MEq)
+      Neg.push_back(NE);
+  Justification J;
+  J.Kind = RuleKind::EqRes;
+  J.Parents = {Id};
+  keepDerived(Clause(std::move(Neg), C.pos()), std::move(J));
+}
+
+void Saturation::equalityFactoring(uint32_t Id) {
+  // Γ -> ∆, s't, s't'  ⊢  Γ, t't' -> ∆, s't' with s't maximal: only
+  // the unique maximal literal can play s't.
+  const OrientedLiteral M = maxLiteral(Id);
+  if (M.Negative || M.Max == M.Min)
+    return;
+  const Clause C = DB[Id].C; // Copy: keepDerived reallocates the DB.
+  const Equation MEq(M.Max, M.Min);
+  for (const Equation &E2 : C.pos()) {
+    if (E2 == MEq)
+      continue;
+    OrientedLiteral L2 = Ordering.orient(E2, /*Negative=*/false);
+    if (L2.Max != M.Max)
+      continue;
+    std::vector<Equation> Neg(C.neg());
+    Neg.emplace_back(M.Min, L2.Min);
+    std::vector<Equation> Pos;
+    for (const Equation &PE : C.pos())
+      if (PE != MEq)
+        Pos.push_back(PE);
+    Justification J;
+    J.Kind = RuleKind::EqFact;
+    J.Parents = {Id};
+    keepDerived(Clause(std::move(Neg), std::move(Pos)), std::move(J));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Model generation (Gen of §3.3)
+//===----------------------------------------------------------------------===//
+
+GroundRewriteSystem Saturation::genModel() const {
+  assert(Passive.empty() && !EmptyClauseId &&
+         "genModel requires a saturated, consistent clause set");
+  return genModelFrom(liveClauses());
+}
+
+GroundRewriteSystem
+Saturation::genModelFrom(std::vector<uint32_t> Ids) const {
+  GroundRewriteSystem R(Terms);
+
+  // Process clauses in ascending clause order (Bachmair-Ganzinger).
+  std::sort(Ids.begin(), Ids.end(), [this](uint32_t A, uint32_t B) {
+    Order O = Ordering.compareClauses(DB[A].C, DB[B].C);
+    if (O != Order::Equal)
+      return O == Order::Less;
+    return A < B;
+  });
+
+  for (uint32_t Id : Ids) {
+    const Clause &C = DB[Id].C;
+    for (const Equation &E : C.pos()) {
+      if (E.trivial())
+        continue;
+      OrientedLiteral L = Ordering.orient(E, /*Negative=*/false);
+      if (!Ordering.isStrictlyMaximal(L, C))
+        continue;
+      // Productive only if the clause is false so far and the
+      // left-hand side is irreducible.
+      if (R.normalize(L.Max) != L.Max)
+        continue;
+      if (modelSatisfies(R, C))
+        continue;
+      R.addRule(L.Max, L.Min, Id);
+      break;
+    }
+  }
+  return R;
+}
+
+bool Saturation::modelCertified(const GroundRewriteSystem &R,
+                                const std::vector<uint32_t> &Ids) const {
+  for (uint32_t Id : Ids)
+    if (!modelSatisfies(R, DB[Id].C))
+      return false;
+  // Lemma 3.1(2): the residual of each generating clause must be
+  // falsified by the *final* R (later edges can invalidate earlier
+  // production decisions on an unsaturated set, so re-check).
+  for (const RewriteRule &Rule : R.rules()) {
+    const Clause &Gen = DB[Rule.GeneratingClause].C;
+    Equation Edge(Rule.Lhs, Rule.Rhs);
+    for (const Equation &E : Gen.neg())
+      if (!R.equivalent(E.lhs(), E.rhs()))
+        return false;
+    for (const Equation &E : Gen.pos())
+      if (E != Edge && R.equivalent(E.lhs(), E.rhs()))
+        return false;
+  }
+  return true;
+}
+
+bool Saturation::modelSatisfies(const GroundRewriteSystem &R,
+                                const Clause &C) {
+  for (const Equation &E : C.neg())
+    if (!R.equivalent(E.lhs(), E.rhs()))
+      return true;
+  for (const Equation &E : C.pos())
+    if (R.equivalent(E.lhs(), E.rhs()))
+      return true;
+  return false;
+}
+
+bool Saturation::verifyModel(const GroundRewriteSystem &R) const {
+  for (uint32_t Id : liveClauses())
+    if (!modelSatisfies(R, DB[Id].C))
+      return false;
+  return true;
+}

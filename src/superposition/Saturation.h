@@ -1,0 +1,226 @@
+//===- superposition/Saturation.h - Given-clause saturation -----*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ground superposition calculus I (Nieuwenhuis-Rubio §3.5,
+/// restricted to ground clauses) with a given-clause saturation loop
+/// and standard redundancy elimination: tautology deletion, forward
+/// and backward subsumption, and demodulation by unit equations.
+///
+/// The engine is incremental: the SLP prover alternates between adding
+/// pure clauses discovered by the spatial rules and re-saturating, as
+/// the algorithm of Figure 3 requires. After a successful saturation,
+/// genModel() runs the Bachmair-Ganzinger model construction Gen(S*)
+/// and returns the convergent rewrite system R together with, per
+/// edge, the id of the generating clause (the map g of Lemma 3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPERPOSITION_SATURATION_H
+#define SLP_SUPERPOSITION_SATURATION_H
+
+#include "superposition/ClauseOrdering.h"
+#include "support/Fuel.h"
+#include "term/Rewrite.h"
+
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace slp {
+namespace sup {
+
+/// Outcome of a saturation run.
+enum class SatResult {
+  Unsatisfiable, ///< The empty clause was derived.
+  Saturated,     ///< Fixpoint reached; the clause set is satisfiable.
+  OutOfFuel,     ///< The step budget ran out first.
+};
+
+/// Tuning knobs, exposed so the ablation benchmarks can measure the
+/// contribution of each redundancy-elimination technique.
+struct SaturationOptions {
+  bool Subsumption = true;  ///< Forward/backward subsumption.
+  bool Demodulation = true; ///< Rewriting by unit equations.
+};
+
+/// Aggregate inference counters, exposed for the benchmark harnesses.
+struct SaturationStats {
+  uint64_t Derived = 0;      ///< Conclusions generated.
+  uint64_t Kept = 0;         ///< Clauses that survived simplification.
+  uint64_t Tautologies = 0;  ///< Deleted as valid.
+  uint64_t SubsumedFwd = 0;  ///< New clauses killed by old ones.
+  uint64_t SubsumedBwd = 0;  ///< Old clauses killed by new ones.
+  uint64_t Demodulated = 0;  ///< Rewrites by unit equations.
+};
+
+/// Incremental ground superposition engine.
+class Saturation {
+public:
+  Saturation(TermTable &Terms, const TermOrder &Ord,
+             SaturationOptions Opts = {})
+      : Terms(Terms), Ordering(Ord), Opts(Opts), Demod(Terms) {}
+
+  Saturation(const Saturation &) = delete;
+  Saturation &operator=(const Saturation &) = delete;
+
+  /// Result of adding an input clause.
+  struct AddResult {
+    uint32_t Id;  ///< Database id (~0u if the clause was dropped).
+    bool New;     ///< False if tautological, duplicate, or subsumed.
+  };
+
+  /// Adds the pure clause Γ → ∆. The clause is canonicalized; if it is
+  /// a tautology or already follows from a stored clause by
+  /// subsumption, it is reported as not new, which the SLP prover uses
+  /// for its S = S* fixpoint test (a subsumed clause is satisfied by
+  /// every model of its subsumer, so the completeness argument is
+  /// unaffected).
+  AddResult addInput(std::vector<Equation> Neg, std::vector<Equation> Pos,
+                     uint32_t ExternalTag = ~0u);
+
+  /// Runs the given-clause loop until refutation, fixpoint, or fuel
+  /// exhaustion. May be called repeatedly as new inputs arrive.
+  SatResult saturate(Fuel &F);
+
+  /// Model-guided variant of saturate() used by the SLP prover: stops
+  /// as soon as the candidate model Gen(current set) *demonstrably*
+  /// satisfies every stored clause and every edge's generating-clause
+  /// residual is falsified (the two semantic facts Lemma 3.1 provides
+  /// and the spatial phases rely on). Full saturation can be
+  /// exponential on the wide disjunctions the unfolding rules emit,
+  /// while a certifiable model is typically available after a handful
+  /// of inferences; since the certificate is checked directly, no
+  /// soundness is lost. Falls back to ordinary saturation when no
+  /// model certifies, so refutations are still found.
+  SatResult saturateModelGuided(Fuel &F,
+                                std::optional<GroundRewriteSystem> &Model);
+
+  bool hasEmptyClause() const { return EmptyClauseId.has_value(); }
+  uint32_t emptyClauseId() const { return *EmptyClauseId; }
+
+  /// Clause database access (ids are stable; includes deleted ones).
+  const ClauseEntry &entry(uint32_t Id) const { return DB.at(Id); }
+  size_t numClauses() const { return DB.size(); }
+
+  /// Ids of live clauses of the saturated set S*.
+  std::vector<uint32_t> liveClauses() const;
+
+  /// Model generation Gen(S*): processes the saturated clauses in
+  /// ascending clause order and lets each productive clause (false so
+  /// far, strictly maximal positive literal l ' r with l irreducible)
+  /// emit the edge l ⇒ r. Precondition: the last saturate() returned
+  /// Saturated and nothing was added since.
+  GroundRewriteSystem genModel() const;
+
+  /// True iff R* |' C, i.e. some Γ-equation is false or some
+  /// ∆-equation true under the congruence induced by \p R.
+  static bool modelSatisfies(const GroundRewriteSystem &R, const Clause &C);
+
+  /// Checks R against every live clause; used by tests to validate the
+  /// Gen construction (Theorem 3.1).
+  bool verifyModel(const GroundRewriteSystem &R) const;
+
+  const TermTable &terms() const { return Terms; }
+  TermTable &terms() { return Terms; }
+  const ClauseOrdering &ordering() const { return Ordering; }
+  const SaturationStats &stats() const { return Stats; }
+
+private:
+  /// Pushes a derived clause into the database/passive queue unless it
+  /// is an obvious duplicate or tautology. Returns its id if kept.
+  std::optional<uint32_t> keepDerived(Clause C, Justification J);
+
+  /// All superposition inferences between the given clause and one
+  /// active partner (both directions), plus unary rules on Given.
+  void generateInferences(uint32_t GivenId);
+  void superpose(uint32_t FromId, uint32_t IntoId);
+  void equalityResolution(uint32_t Id);
+  void equalityFactoring(uint32_t Id);
+
+  /// The unique maximal literal of a (canonical, nonempty) clause.
+  /// With a total literal order and deduplicated literals there is
+  /// exactly one, so every ordering side condition of the calculus
+  /// reduces to a comparison against it; cached per clause id.
+  const OrientedLiteral &maxLiteral(uint32_t Id);
+
+  /// Replaces every occurrence position of \p Find in \p In one at a
+  /// time; appends each single-position replacement result.
+  void replacements(const Term *In, const Term *Find, const Term *Repl,
+                    std::vector<const Term *> &Out);
+
+  /// Rewrites \p T to Demod-normal form, recording used unit ids.
+  /// Rules generated by clause \p SelfId are skipped so a unit
+  /// equation never rewrites (and thereby deletes) itself.
+  const Term *demodTerm(const Term *T, uint32_t SelfId,
+                        std::vector<uint32_t> &Used);
+
+  /// Applies demodulation to clause \p SelfId; returns the rewritten
+  /// clause and the used unit ids, or nullopt if already normal.
+  std::optional<std::pair<Clause, std::vector<uint32_t>>>
+  demodClause(const Clause &C, uint32_t SelfId);
+
+  bool isForwardSubsumed(const Clause &C) const;
+  void backwardSimplify(uint32_t NewId);
+
+  /// One iteration of the given-clause loop: pops the best passive
+  /// clause, simplifies, activates, and generates inferences.
+  void stepGivenClause();
+
+  /// Ids of every non-deleted clause (active and passive).
+  std::vector<uint32_t> allStored() const;
+
+  /// Gen over an explicit clause set (ascending clause order).
+  GroundRewriteSystem genModelFrom(std::vector<uint32_t> Ids) const;
+
+  /// True iff \p R satisfies every clause in \p Ids and every edge's
+  /// generating-clause residual is falsified (Lemma 3.1(2)).
+  bool modelCertified(const GroundRewriteSystem &R,
+                      const std::vector<uint32_t> &Ids) const;
+
+  /// Registers an active unit equation as a demodulator.
+  void maybeAddDemodulator(uint32_t Id);
+
+  /// Marks a clause deleted and retires any demodulation rule it owns.
+  void deleteClause(uint32_t Id);
+
+  TermTable &Terms;
+  ClauseOrdering Ordering;
+  SaturationOptions Opts;
+
+  std::vector<ClauseEntry> DB;
+  std::unordered_multimap<uint64_t, uint32_t> Fingerprints;
+  std::vector<uint32_t> Active;
+  // Passive queue, popped smallest-first by (size, id); entries are
+  // lazily invalidated (popped ids may be deleted or re-queued).
+  using PassiveEntry = std::pair<uint32_t, uint32_t>; // (size, id)
+  std::priority_queue<PassiveEntry, std::vector<PassiveEntry>,
+                      std::greater<PassiveEntry>>
+      Passive;
+  std::optional<uint32_t> EmptyClauseId;
+
+  GroundRewriteSystem Demod;
+  /// Left-hand side of the demodulation rule owned by a clause id.
+  std::unordered_map<uint32_t, const Term *> DemodOwned;
+  /// Memoized maximal literal per clause id (clauses are immutable).
+  std::vector<std::optional<OrientedLiteral>> MaxLitCache;
+  /// Inference partner indexes over *active* clauses: a superposition
+  /// between F (from) and G (into) exists only when F's maximal term
+  /// occurs inside G's maximal term, so partners are found by term id
+  /// instead of scanning the whole active set. FromByMax keys clauses
+  /// by their strictly-maximal positive left side; IntoBySubterm keys
+  /// clauses by every distinct subterm of their maximal side. Entries
+  /// are invalidated lazily via the Deleted flag.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> FromByMax;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> IntoBySubterm;
+  SaturationStats Stats;
+};
+
+} // namespace sup
+} // namespace slp
+
+#endif // SLP_SUPERPOSITION_SATURATION_H

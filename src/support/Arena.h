@@ -1,0 +1,112 @@
+//===- support/Arena.h - Bump-pointer allocation ----------------*- C++ -*-===//
+//
+// Part of the SLP project, an implementation of the PLDI'11 paper
+// "Separation Logic + Superposition Calculus = Heap Theorem Prover".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple bump-pointer arena used for term DAGs, clauses and spatial
+/// atoms. Objects allocated here are never individually freed; the
+/// whole arena is released at once. Trivially-destructible payloads
+/// only (asserted per allocation site).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPPORT_ARENA_H
+#define SLP_SUPPORT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace slp {
+
+/// Bump-pointer arena. Allocation is O(1); deallocation happens only
+/// when the arena is destroyed or reset().
+class Arena {
+public:
+  explicit Arena(size_t SlabBytes = DefaultSlabBytes)
+      : SlabBytes(SlabBytes) {}
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Bytes with the given alignment. Never returns null.
+  void *allocate(size_t Bytes, size_t Align) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 &&
+           "alignment must be a power of two");
+    uintptr_t P = (Cur + Align - 1) & ~(uintptr_t)(Align - 1);
+    if (P + Bytes > End) {
+      newSlab(Bytes + Align);
+      P = (Cur + Align - 1) & ~(uintptr_t)(Align - 1);
+    }
+    Cur = P + Bytes;
+    BytesUsed += Bytes;
+    return reinterpret_cast<void *>(P);
+  }
+
+  /// Allocates and constructs a single T. T must be trivially
+  /// destructible since arenas never run destructors.
+  template <typename T, typename... ArgTs> T *create(ArgTs &&...Args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects must not require destructors");
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<ArgTs>(Args)...);
+  }
+
+  /// Allocates an uninitialized array of \p N objects of type T.
+  template <typename T> T *allocateArray(size_t N) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects must not require destructors");
+    if (N == 0)
+      return nullptr;
+    return static_cast<T *>(allocate(sizeof(T) * N, alignof(T)));
+  }
+
+  /// Copies the range [Begin, Begin+N) into the arena.
+  template <typename T> T *copyArray(const T *Begin, size_t N) {
+    T *Mem = allocateArray<T>(N);
+    for (size_t I = 0; I != N; ++I)
+      new (Mem + I) T(Begin[I]);
+    return Mem;
+  }
+
+  /// Releases all slabs. Pointers into the arena become dangling.
+  void reset() {
+    Slabs.clear();
+    Cur = End = 0;
+    BytesUsed = 0;
+  }
+
+  /// Total payload bytes handed out (excludes alignment padding).
+  size_t bytesAllocated() const { return BytesUsed; }
+
+  /// Number of backing slabs currently held.
+  size_t numSlabs() const { return Slabs.size(); }
+
+private:
+  static constexpr size_t DefaultSlabBytes = 64 * 1024;
+
+  void newSlab(size_t MinBytes) {
+    size_t Size = SlabBytes;
+    while (Size < MinBytes)
+      Size *= 2;
+    Slabs.push_back(std::make_unique<char[]>(Size));
+    Cur = reinterpret_cast<uintptr_t>(Slabs.back().get());
+    End = Cur + Size;
+  }
+
+  size_t SlabBytes;
+  std::vector<std::unique_ptr<char[]>> Slabs;
+  uintptr_t Cur = 0;
+  uintptr_t End = 0;
+  size_t BytesUsed = 0;
+};
+
+} // namespace slp
+
+#endif // SLP_SUPPORT_ARENA_H

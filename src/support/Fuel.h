@@ -1,0 +1,58 @@
+//===- support/Fuel.h - Deterministic work budgets --------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic inference-step budget. The paper reports "(N%)
+/// solved before the 10 minute limit" entries; we reproduce those with
+/// machine-independent fuel counters (each prover decrements one unit
+/// per elementary inference) instead of wall-clock timeouts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPPORT_FUEL_H
+#define SLP_SUPPORT_FUEL_H
+
+#include <cstdint>
+
+namespace slp {
+
+/// Counts down elementary inference steps; once exhausted, provers
+/// abort with a Timeout verdict.
+class Fuel {
+public:
+  /// Creates an unlimited budget.
+  Fuel() = default;
+
+  /// Creates a budget of \p Steps elementary inferences.
+  explicit Fuel(uint64_t Steps) : Remaining(Steps), Limited(true) {}
+
+  /// Consumes \p Steps units; returns false once the budget is gone.
+  bool consume(uint64_t Steps = 1) {
+    Used += Steps;
+    if (!Limited)
+      return true;
+    if (Remaining < Steps) {
+      Remaining = 0;
+      return false;
+    }
+    Remaining -= Steps;
+    return true;
+  }
+
+  bool exhausted() const { return Limited && Remaining == 0; }
+
+  /// Total units consumed so far (counts past exhaustion attempts).
+  uint64_t used() const { return Used; }
+
+private:
+  uint64_t Remaining = 0;
+  uint64_t Used = 0;
+  bool Limited = false;
+};
+
+} // namespace slp
+
+#endif // SLP_SUPPORT_FUEL_H

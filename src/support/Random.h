@@ -1,0 +1,59 @@
+//===- support/Random.h - Deterministic RNG ---------------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64 pseudo-random generator. All benchmark workloads are
+/// generated from explicit seeds so that every table in EXPERIMENTS.md
+/// is bit-for-bit reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPPORT_RANDOM_H
+#define SLP_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace slp {
+
+/// SplitMix64: tiny, fast, and statistically solid for workload
+/// generation purposes.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with success probability \p P.
+  bool chance(double P) { return unit() < P; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace slp
+
+#endif // SLP_SUPPORT_RANDOM_H

@@ -1,0 +1,50 @@
+//===- support/StringInterner.h - String uniquing ---------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Uniques strings into stable string_views backed by an arena, so
+/// symbol names can be compared by pointer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPPORT_STRINGINTERNER_H
+#define SLP_SUPPORT_STRINGINTERNER_H
+
+#include "support/Arena.h"
+
+#include <string_view>
+#include <unordered_map>
+
+namespace slp {
+
+/// Owns interned copies of strings; returned views stay valid for the
+/// interner's lifetime.
+class StringInterner {
+public:
+  /// Returns a stable view equal to \p S, copying it on first sight.
+  std::string_view intern(std::string_view S) {
+    auto It = Map.find(S);
+    if (It != Map.end())
+      return It->second;
+    char *Mem = Storage.allocateArray<char>(S.size());
+    for (size_t I = 0; I != S.size(); ++I)
+      Mem[I] = S[I];
+    std::string_view Stable(Mem, S.size());
+    Map.emplace(Stable, Stable);
+    return Stable;
+  }
+
+  size_t size() const { return Map.size(); }
+
+private:
+  Arena Storage;
+  // Keys view into Storage, so they remain valid as the map grows.
+  std::unordered_map<std::string_view, std::string_view> Map;
+};
+
+} // namespace slp
+
+#endif // SLP_SUPPORT_STRINGINTERNER_H

@@ -1,0 +1,38 @@
+//===- support/Timer.h - Wall-clock stopwatch -------------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal monotonic stopwatch for the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPPORT_TIMER_H
+#define SLP_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace slp {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  void restart() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace slp
+
+#endif // SLP_SUPPORT_TIMER_H

@@ -1,0 +1,31 @@
+//===- symexec/Corpus.h - 18 annotated list programs ------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark corpus: 18 annotated list-manipulating procedures in
+/// the spirit of the examples shipped with Smallfoot (traversal,
+/// search, append, reverse, copy, insertion, deletion, disposal,
+/// allocation, pointer surgery). Their verification conditions are the
+/// Table 3 workload; every VC is valid, which the test suite asserts
+/// with both SLP and the complete baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SYMEXEC_CORPUS_H
+#define SLP_SYMEXEC_CORPUS_H
+
+#include "symexec/Program.h"
+
+namespace slp {
+namespace symexec {
+
+/// Builds the full 18-program corpus over \p Terms.
+std::vector<Program> corpus(TermTable &Terms);
+
+} // namespace symexec
+} // namespace slp
+
+#endif // SLP_SYMEXEC_CORPUS_H

@@ -1,0 +1,57 @@
+//===- symexec/SymbolicExec.h - VC generation -------------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic execution of annotated heap programs, generating the
+/// entailment verification conditions Smallfoot would discharge:
+///
+///  - loop entry:        current state ⊨ invariant
+///  - loop preservation: post-body state ⊨ invariant
+///  - postcondition:     exit state ⊨ post
+///  - memory safety:     before unfolding lseg(x, y) to materialize a
+///                       cell at x, the state must entail x != y
+///
+/// States are symbolic heaps Π ∧ Σ; heap accesses are resolved by
+/// *rearrangement* (APLAS'05): a next-cell at the accessed address is
+/// looked up modulo the equalities of Π, unfolding an lseg head when
+/// necessary. Programs whose accesses cannot be materialized are
+/// rejected with an error (no silent skipping).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SYMEXEC_SYMBOLICEXEC_H
+#define SLP_SYMEXEC_SYMBOLICEXEC_H
+
+#include "symexec/Program.h"
+
+#include <optional>
+
+namespace slp {
+namespace symexec {
+
+/// One generated verification condition.
+struct VC {
+  std::string Name; ///< e.g. "reverse: loop invariant preserved (#2)".
+  sl::Entailment E;
+};
+
+/// All VCs of a program, or an error if execution got stuck.
+struct VcGenResult {
+  std::vector<VC> VCs;
+  std::optional<std::string> Error;
+
+  bool ok() const { return !Error.has_value(); }
+};
+
+/// Symbolically executes \p P, collecting verification conditions.
+/// Fresh symbolic constants are interned into \p Terms with names
+/// "_<program>_<n>".
+VcGenResult generateVCs(TermTable &Terms, const Program &P);
+
+} // namespace symexec
+} // namespace slp
+
+#endif // SLP_SYMEXEC_SYMBOLICEXEC_H

@@ -1,0 +1,90 @@
+//===- term/Ordering.cpp - Precedence and KBO -----------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Ordering.h"
+
+using namespace slp;
+
+// Out-of-line key function anchors the vtable in this object file.
+TermOrder::~TermOrder() = default;
+
+uint64_t KBO::weight(const Term *T) const {
+  if (T->id() < WeightCache.size() && WeightCache[T->id()] != 0)
+    return WeightCache[T->id()];
+  uint64_t W = SymbolWeight;
+  for (const Term *A : T->args())
+    W += weight(A);
+  if (T->id() >= WeightCache.size())
+    WeightCache.resize(T->id() + 1, 0);
+  WeightCache[T->id()] = W;
+  return W;
+}
+
+Order KBO::compare(const Term *A, const Term *B) const {
+  if (A == B)
+    return Order::Equal;
+
+  uint64_t WA = weight(A), WB = weight(B);
+  if (WA < WB)
+    return Order::Less;
+  if (WA > WB)
+    return Order::Greater;
+
+  Order Head = Prec.compare(A->symbol(), B->symbol());
+  if (Head != Order::Equal)
+    return Head;
+
+  assert(A->numArgs() == B->numArgs() && "equal symbols, equal arities");
+  for (unsigned I = 0; I != A->numArgs(); ++I) {
+    Order O = compare(A->arg(I), B->arg(I));
+    if (O != Order::Equal)
+      return O;
+  }
+  // Interning guarantees structurally equal ground terms are pointer
+  // equal, so this point is unreachable for A != B.
+  assert(false && "distinct interned terms compared equal");
+  return Order::Equal;
+}
+
+Order LPO::compare(const Term *A, const Term *B) const {
+  if (A == B)
+    return Order::Equal;
+
+  // (1) A >= some argument chain covering B?
+  for (const Term *Arg : A->args()) {
+    Order O = compare(Arg, B);
+    if (O == Order::Greater || O == Order::Equal)
+      return Order::Greater;
+  }
+
+  Order Head = Prec.compare(A->symbol(), B->symbol());
+  if (Head == Order::Greater) {
+    // (2) A must dominate every argument of B.
+    for (const Term *Arg : B->args())
+      if (compare(A, Arg) != Order::Greater)
+        return Order::Less; // Some argument of B covers A (case 1 dual).
+    return Order::Greater;
+  }
+  if (Head == Order::Less)
+    return flip(compare(B, A));
+
+  // (3) Equal heads: first lexicographic difference decides, provided
+  // the greater side dominates the rest of the smaller side's args.
+  assert(A->numArgs() == B->numArgs() && "equal symbols, equal arities");
+  for (unsigned I = 0; I != A->numArgs(); ++I) {
+    Order O = compare(A->arg(I), B->arg(I));
+    if (O == Order::Equal)
+      continue;
+    const Term *Big = O == Order::Greater ? A : B;
+    const Term *Small = O == Order::Greater ? B : A;
+    for (unsigned J = I + 1; J != A->numArgs(); ++J)
+      if (compare(Big, Small->arg(J)) != Order::Greater)
+        return O == Order::Greater ? Order::Less : Order::Greater;
+    return O;
+  }
+  assert(false && "distinct interned terms compared equal");
+  return Order::Equal;
+}

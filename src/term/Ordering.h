@@ -1,0 +1,149 @@
+//===- term/Ordering.h - Precedence, KBO and LPO ----------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Term orderings for the superposition calculus: a total precedence
+/// on symbols and two total simplification orders on ground terms —
+/// the Knuth-Bendix ordering (the default) and the lexicographic path
+/// ordering (selectable; the ordering-choice ablation compares them).
+/// Section 3.3 of the paper requires nil to be the minimal constant;
+/// Precedence enforces that invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_TERM_ORDERING_H
+#define SLP_TERM_ORDERING_H
+
+#include "term/Term.h"
+
+#include <vector>
+
+namespace slp {
+
+/// Three-way comparison result for term orderings.
+enum class Order { Less, Equal, Greater };
+
+inline Order flip(Order O) {
+  if (O == Order::Less)
+    return Order::Greater;
+  if (O == Order::Greater)
+    return Order::Less;
+  return Order::Equal;
+}
+
+/// A total order on symbols. By default symbols are ranked by creation
+/// order, which makes nil (symbol 0) minimal; custom ranks may be
+/// installed but must keep nil minimal.
+class Precedence {
+public:
+  /// Rank of a symbol; higher rank means greater in the precedence.
+  uint64_t rank(Symbol S) const {
+    if (S.id() < Ranks.size())
+      return Ranks[S.id()];
+    return S.id(); // Default: creation order.
+  }
+
+  /// Installs a custom rank for \p S. nil must stay minimal.
+  void setRank(Symbol S, uint64_t Rank) {
+    assert((S != SymbolTable::nil() || Rank == 0) &&
+           "nil must remain the minimal symbol");
+    assert((S == SymbolTable::nil() || Rank > 0) &&
+           "non-nil symbols must rank above nil");
+    if (S.id() >= Ranks.size()) {
+      size_t Old = Ranks.size();
+      Ranks.resize(S.id() + 1);
+      for (size_t I = Old; I != Ranks.size(); ++I)
+        Ranks[I] = I;
+    }
+    Ranks[S.id()] = Rank;
+  }
+
+  Order compare(Symbol A, Symbol B) const {
+    uint64_t RA = rank(A), RB = rank(B);
+    if (RA < RB)
+      return Order::Less;
+    if (RA > RB)
+      return Order::Greater;
+    assert(A == B && "precedence ranks must be distinct per symbol");
+    return Order::Equal;
+  }
+
+  bool greater(Symbol A, Symbol B) const {
+    return compare(A, B) == Order::Greater;
+  }
+
+private:
+  std::vector<uint64_t> Ranks;
+};
+
+/// Abstract total simplification order on ground terms; the calculus
+/// is parameterized over this interface.
+class TermOrder {
+public:
+  virtual ~TermOrder();
+
+  virtual Order compare(const Term *A, const Term *B) const = 0;
+
+  bool greater(const Term *A, const Term *B) const {
+    return compare(A, B) == Order::Greater;
+  }
+
+  /// Of two interned terms, returns the larger one.
+  const Term *max(const Term *A, const Term *B) const {
+    return greater(B, A) ? B : A;
+  }
+
+  const Term *min(const Term *A, const Term *B) const {
+    return greater(B, A) ? A : B;
+  }
+};
+
+/// Knuth-Bendix ordering on ground terms: compare total symbol weight
+/// first, then head precedence, then arguments lexicographically.
+/// With a total precedence this is a total simplification order on
+/// ground terms, as required by the calculus of Nieuwenhuis-Rubio.
+class KBO : public TermOrder {
+public:
+  explicit KBO(Precedence Prec = Precedence(), uint64_t SymbolWeight = 1)
+      : Prec(std::move(Prec)), SymbolWeight(SymbolWeight) {}
+
+  /// Total weight of \p T: SymbolWeight per node of the term tree.
+  uint64_t weight(const Term *T) const;
+
+  Order compare(const Term *A, const Term *B) const override;
+
+  const Precedence &precedence() const { return Prec; }
+  Precedence &precedence() { return Prec; }
+
+private:
+  Precedence Prec;
+  uint64_t SymbolWeight;
+  // Weight memo indexed by term id (0 = not yet computed).
+  mutable std::vector<uint64_t> WeightCache;
+};
+
+/// Lexicographic path ordering on ground terms: s > t if
+///   (1) some argument of s is >= t, or
+///   (2) head(s) > head(t) and s > every argument of t, or
+///   (3) heads are equal, the first differing arguments decide, and
+///       the greater side dominates the smaller side's remaining
+///       arguments.
+class LPO : public TermOrder {
+public:
+  explicit LPO(Precedence Prec = Precedence()) : Prec(std::move(Prec)) {}
+
+  Order compare(const Term *A, const Term *B) const override;
+
+  const Precedence &precedence() const { return Prec; }
+  Precedence &precedence() { return Prec; }
+
+private:
+  Precedence Prec;
+};
+
+} // namespace slp
+
+#endif // SLP_TERM_ORDERING_H

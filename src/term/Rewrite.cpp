@@ -1,0 +1,67 @@
+//===- term/Rewrite.cpp - Ground rewrite systems --------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Rewrite.h"
+
+using namespace slp;
+
+const Term *GroundRewriteSystem::normalize(const Term *T) const {
+  auto Cached = NormalFormCache.find(T->id());
+  if (Cached != NormalFormCache.end())
+    return Cached->second;
+
+  const Term *Current = T;
+  for (;;) {
+    // Innermost: normalize arguments first, rebuilding the node if any
+    // argument changed.
+    if (Current->numArgs() != 0) {
+      std::vector<const Term *> NewArgs;
+      NewArgs.reserve(Current->numArgs());
+      bool Changed = false;
+      for (const Term *A : Current->args()) {
+        const Term *NA = normalize(A);
+        Changed |= (NA != A);
+        NewArgs.push_back(NA);
+      }
+      if (Changed)
+        Current = Terms.make(Current->symbol(), NewArgs);
+    }
+    const RewriteRule *Rule = ruleFor(Current);
+    if (!Rule)
+      break;
+    // Rules strictly decrease the term ordering, so this terminates.
+    Current = Rule->Rhs;
+  }
+
+  NormalFormCache.emplace(T->id(), Current);
+  return Current;
+}
+
+const Term *
+GroundRewriteSystem::normalizeTracked(const Term *T,
+                                      std::vector<const RewriteRule *> &Used)
+    const {
+  const Term *Current = T;
+  for (;;) {
+    if (Current->numArgs() != 0) {
+      std::vector<const Term *> NewArgs;
+      NewArgs.reserve(Current->numArgs());
+      bool Changed = false;
+      for (const Term *A : Current->args()) {
+        const Term *NA = normalizeTracked(A, Used);
+        Changed |= (NA != A);
+        NewArgs.push_back(NA);
+      }
+      if (Changed)
+        Current = Terms.make(Current->symbol(), NewArgs);
+    }
+    const RewriteRule *Rule = ruleFor(Current);
+    if (!Rule)
+      return Current;
+    Used.push_back(Rule);
+    Current = Rule->Rhs;
+  }
+}

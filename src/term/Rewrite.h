@@ -1,0 +1,111 @@
+//===- term/Rewrite.h - Ground rewrite systems ------------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ground rewrite systems `R` as produced by the model-generation
+/// function Gen(S*) of §3.3. Each rule x ⇒ y is tagged with the id of
+/// the clause that generated it (the map `g` of Lemma 3.1), which the
+/// normalization inferences N1/N3 need. Rules added by Gen are
+/// left-reduced and strictly ordering-decreasing, so the system is
+/// convergent and normal forms are unique.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_TERM_REWRITE_H
+#define SLP_TERM_REWRITE_H
+
+#include "term/Ordering.h"
+#include "term/Term.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace slp {
+
+/// One ground rule Lhs ⇒ Rhs with the generating clause id.
+struct RewriteRule {
+  const Term *Lhs;
+  const Term *Rhs;
+  /// Id of the clause in the saturated set that produced this edge
+  /// (meaningful only for systems built by Gen).
+  uint32_t GeneratingClause;
+};
+
+/// A convergent ground rewrite system over interned terms.
+class GroundRewriteSystem {
+public:
+  explicit GroundRewriteSystem(TermTable &Terms) : Terms(Terms) {}
+
+  /// Adds Lhs ⇒ Rhs. At most one rule per left-hand side is allowed
+  /// (left-reducedness), which Gen guarantees by construction.
+  void addRule(const Term *Lhs, const Term *Rhs,
+               uint32_t GeneratingClause = ~0u) {
+    assert(!RuleByLhs.count(Lhs->id()) && "duplicate left-hand side");
+    RuleByLhs.emplace(Lhs->id(), Rules.size());
+    Rules.push_back({Lhs, Rhs, GeneratingClause});
+    NormalFormCache.clear();
+  }
+
+  /// Removes the rule with left-hand side \p Lhs, if any. Needed by
+  /// the saturation engine: when a demodulator clause is deleted, its
+  /// rule must stop firing or circular simplification could erase
+  /// facts from the clause set.
+  void removeRuleFor(const Term *Lhs) {
+    auto It = RuleByLhs.find(Lhs->id());
+    if (It == RuleByLhs.end())
+      return;
+    size_t Idx = It->second;
+    RuleByLhs.erase(It);
+    if (Idx + 1 != Rules.size()) {
+      Rules[Idx] = Rules.back();
+      RuleByLhs[Rules[Idx].Lhs->id()] = Idx;
+    }
+    Rules.pop_back();
+    NormalFormCache.clear();
+  }
+
+  /// True if some rule rewrites \p T at the root.
+  bool reducibleAtRoot(const Term *T) const {
+    return RuleByLhs.count(T->id()) != 0;
+  }
+
+  /// The rule with left-hand side \p T, or null.
+  const RewriteRule *ruleFor(const Term *T) const {
+    auto It = RuleByLhs.find(T->id());
+    return It == RuleByLhs.end() ? nullptr : &Rules[It->second];
+  }
+
+  /// Unique normal form of \p T.
+  const Term *normalize(const Term *T) const;
+
+  /// Normal form of \p T, appending every rule applied along the way
+  /// to \p Used (with repetitions, in application order). Needed by
+  /// the normalization inferences N1/N3, which must merge the pure
+  /// side conditions of each generating clause (Lemma 4.2).
+  const Term *normalizeTracked(const Term *T,
+                               std::vector<const RewriteRule *> &Used) const;
+
+  /// True iff \p A and \p B have the same normal form, i.e. R* |= A ' B.
+  bool equivalent(const Term *A, const Term *B) const {
+    return normalize(A) == normalize(B);
+  }
+
+  const std::vector<RewriteRule> &rules() const { return Rules; }
+  bool empty() const { return Rules.empty(); }
+  size_t size() const { return Rules.size(); }
+
+  TermTable &terms() const { return Terms; }
+
+private:
+  TermTable &Terms;
+  std::vector<RewriteRule> Rules;
+  std::unordered_map<uint32_t, size_t> RuleByLhs;
+  mutable std::unordered_map<uint32_t, const Term *> NormalFormCache;
+};
+
+} // namespace slp
+
+#endif // SLP_TERM_REWRITE_H

@@ -1,0 +1,95 @@
+//===- term/Symbol.h - Interned function symbols ----------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function symbols for the ground term language. The separation-logic
+/// fragment of the paper only needs constants (program variables plus
+/// the distinguished nil), but the substrate supports arbitrary arities
+/// so the superposition calculus is the general ground one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_TERM_SYMBOL_H
+#define SLP_TERM_SYMBOL_H
+
+#include "support/StringInterner.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace slp {
+
+/// A lightweight handle to an entry of a SymbolTable.
+class Symbol {
+public:
+  Symbol() = default;
+
+  uint32_t id() const { return Id; }
+  bool valid() const { return Id != ~0u; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+
+private:
+  friend class SymbolTable;
+  explicit Symbol(uint32_t Id) : Id(Id) {}
+  uint32_t Id = ~0u;
+};
+
+/// Owns all symbols of a problem instance. Symbol 0 is always `nil`,
+/// which §3.3 of the paper requires to be minimal in the term order.
+class SymbolTable {
+public:
+  SymbolTable() {
+    // Reserve id 0 for nil.
+    Symbol S = intern("nil", /*Arity=*/0);
+    (void)S;
+    assert(S.id() == 0 && "nil must be symbol 0");
+  }
+
+  /// The distinguished null-pointer constant.
+  static Symbol nil() { return Symbol(0); }
+
+  /// Returns the symbol named \p Name with the given arity, creating
+  /// it on first use. Reusing a name with a different arity is an
+  /// API-contract violation.
+  Symbol intern(std::string_view Name, unsigned Arity) {
+    std::string_view Stable = Names.intern(Name);
+    auto It = Index.find(Stable);
+    if (It != Index.end()) {
+      assert(Entries[It->second].Arity == Arity &&
+             "symbol re-interned with a different arity");
+      return Symbol(It->second);
+    }
+    uint32_t Id = static_cast<uint32_t>(Entries.size());
+    Entries.push_back({Stable, Arity});
+    Index.emplace(Stable, Id);
+    return Symbol(Id);
+  }
+
+  /// Convenience for arity-0 symbols (program variables).
+  Symbol constant(std::string_view Name) { return intern(Name, 0); }
+
+  std::string_view name(Symbol S) const { return Entries.at(S.id()).Name; }
+  unsigned arity(Symbol S) const { return Entries.at(S.id()).Arity; }
+  size_t size() const { return Entries.size(); }
+
+private:
+  struct Entry {
+    std::string_view Name;
+    unsigned Arity;
+  };
+
+  StringInterner Names;
+  std::vector<Entry> Entries;
+  std::unordered_map<std::string_view, uint32_t> Index;
+};
+
+} // namespace slp
+
+#endif // SLP_TERM_SYMBOL_H

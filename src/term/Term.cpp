@@ -1,0 +1,58 @@
+//===- term/Term.cpp - Hash-consed ground term DAG ------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Term.h"
+
+#include <sstream>
+
+using namespace slp;
+
+const Term *TermTable::make(Symbol Sym, std::span<const Term *const> Args) {
+  assert(Symbols.arity(Sym) == Args.size() &&
+         "term built with wrong number of arguments");
+  uint64_t H = hashKey(Sym, Args);
+  auto [It, End] = Buckets.equal_range(H);
+  for (; It != End; ++It) {
+    const Term *T = It->second;
+    if (T->symbol() != Sym || T->numArgs() != Args.size())
+      continue;
+    bool Same = true;
+    for (unsigned I = 0; I != T->numArgs(); ++I)
+      if (T->arg(I) != Args[I]) {
+        Same = false;
+        break;
+      }
+    if (Same)
+      return T;
+  }
+
+  const Term **ArgsCopy = nullptr;
+  if (!Args.empty())
+    ArgsCopy = const_cast<const Term **>(
+        Storage.copyArray<const Term *>(Args.data(), Args.size()));
+  uint32_t Id = static_cast<uint32_t>(TermsById.size());
+  void *Mem = Storage.allocate(sizeof(Term), alignof(Term));
+  Term *T = new (Mem) Term(Sym, Id, H, ArgsCopy,
+                           static_cast<unsigned>(Args.size()));
+  TermsById.push_back(T);
+  Buckets.emplace(H, T);
+  return T;
+}
+
+std::string TermTable::str(const Term *T) const {
+  std::ostringstream OS;
+  OS << Symbols.name(T->symbol());
+  if (T->numArgs() == 0)
+    return OS.str();
+  OS << '(';
+  for (unsigned I = 0; I != T->numArgs(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << str(T->arg(I));
+  }
+  OS << ')';
+  return OS.str();
+}

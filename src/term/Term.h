@@ -1,0 +1,119 @@
+//===- term/Term.h - Hash-consed ground term DAG ----------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ground terms are interned into a DAG: structurally equal terms are
+/// the same node, so equality is pointer equality and every term
+/// carries a dense id usable as a vector index. Nodes live in an arena
+/// owned by the TermTable and are never freed individually.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_TERM_TERM_H
+#define SLP_TERM_TERM_H
+
+#include "support/Arena.h"
+#include "support/Hashing.h"
+#include "term/Symbol.h"
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace slp {
+
+/// An immutable, interned ground term. Compare with `==` on pointers.
+class Term {
+public:
+  Symbol symbol() const { return Sym; }
+  uint32_t id() const { return Id; }
+  uint64_t hash() const { return Hash; }
+  unsigned numArgs() const { return NumArgs; }
+
+  std::span<const Term *const> args() const {
+    return {ArgsBegin, static_cast<size_t>(NumArgs)};
+  }
+
+  const Term *arg(unsigned I) const {
+    assert(I < NumArgs && "argument index out of range");
+    return ArgsBegin[I];
+  }
+
+  bool isConstant() const { return NumArgs == 0; }
+  bool isNil() const { return Sym == SymbolTable::nil(); }
+
+private:
+  friend class TermTable;
+  Term(Symbol Sym, uint32_t Id, uint64_t Hash, const Term *const *ArgsBegin,
+       unsigned NumArgs)
+      : Sym(Sym), Id(Id), Hash(Hash), NumArgs(NumArgs), ArgsBegin(ArgsBegin) {}
+
+  Symbol Sym;
+  uint32_t Id;
+  uint64_t Hash;
+  unsigned NumArgs;
+  const Term *const *ArgsBegin;
+};
+
+/// Interning factory and owner of all Term nodes of a problem.
+class TermTable {
+public:
+  explicit TermTable(SymbolTable &Symbols) : Symbols(Symbols) {}
+
+  TermTable(const TermTable &) = delete;
+  TermTable &operator=(const TermTable &) = delete;
+
+  /// Returns the unique term \p Sym(\p Args...).
+  const Term *make(Symbol Sym, std::span<const Term *const> Args = {});
+
+  /// Returns the unique constant term for \p Sym (arity 0).
+  const Term *constant(Symbol Sym) { return make(Sym); }
+
+  /// Interns the name and returns its constant term.
+  const Term *constant(std::string_view Name) {
+    return make(Symbols.constant(Name));
+  }
+
+  /// The distinguished nil constant.
+  const Term *nil() { return constant(SymbolTable::nil()); }
+
+  /// Number of distinct terms created so far; term ids are < size().
+  size_t size() const { return TermsById.size(); }
+
+  /// Looks a term up by its dense id.
+  const Term *byId(uint32_t Id) const { return TermsById.at(Id); }
+
+  SymbolTable &symbols() { return Symbols; }
+  const SymbolTable &symbols() const { return Symbols; }
+
+  /// Renders \p T as text, e.g. "f(a, nil)".
+  std::string str(const Term *T) const;
+
+private:
+  struct Key {
+    Symbol Sym;
+    std::span<const Term *const> Args;
+  };
+
+  static uint64_t hashKey(Symbol Sym, std::span<const Term *const> Args) {
+    uint64_t H = hashValue(Sym.id());
+    for (const Term *A : Args)
+      H = hashCombine(H, A->hash());
+    return H;
+  }
+
+  SymbolTable &Symbols;
+  Arena Storage;
+  std::vector<const Term *> TermsById;
+  // Buckets from hash to candidate terms; collisions resolved by
+  // structural comparison (which is shallow thanks to interning).
+  std::unordered_multimap<uint64_t, const Term *> Buckets;
+};
+
+} // namespace slp
+
+#endif // SLP_TERM_TERM_H

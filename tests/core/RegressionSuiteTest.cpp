@@ -1,0 +1,117 @@
+//===- tests/core/RegressionSuiteTest.cpp ---------------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Runs the file-based regression corpus (data/regression.slp): every
+/// entailment carries an expected verdict in a preceding comment; SLP
+/// must match it, countermodels must validate semantically, and the
+/// complete baseline must agree.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/BerdineProver.h"
+#include "core/Prover.h"
+#include "sl/Parser.h"
+#include "sl/Semantics.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace slp;
+using namespace slp::core;
+
+namespace {
+
+struct RegressionCase {
+  std::string Line;
+  bool ExpectValid;
+  unsigned LineNo;
+};
+
+std::vector<RegressionCase> loadCorpus() {
+  // The test binary runs from an arbitrary build directory; search
+  // upward for the repository's data file.
+  std::ifstream In;
+  for (const char *Path :
+       {"data/regression.slp", "../data/regression.slp",
+        "../../data/regression.slp", "../../../data/regression.slp",
+        "/root/repo/data/regression.slp"}) {
+    In.open(Path);
+    if (In)
+      break;
+    In.clear();
+  }
+  std::vector<RegressionCase> Cases;
+  if (!In)
+    return Cases;
+
+  std::string Line;
+  int Pending = -1; // -1 none, 0 invalid, 1 valid.
+  unsigned LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.find("# expect: valid") != std::string::npos) {
+      Pending = 1;
+      continue;
+    }
+    if (Line.find("# expect: invalid") != std::string::npos) {
+      Pending = 0;
+      continue;
+    }
+    size_t NonWs = Line.find_first_not_of(" \t\r");
+    if (NonWs == std::string::npos || Line[NonWs] == '#')
+      continue;
+    if (Pending < 0)
+      continue; // Untagged lines are not checked here.
+    Cases.push_back({Line, Pending == 1, LineNo});
+    Pending = -1;
+  }
+  return Cases;
+}
+
+class RegressionSuiteTest : public ::testing::Test {
+protected:
+  SymbolTable Symbols;
+  TermTable Terms{Symbols};
+};
+
+} // namespace
+
+TEST_F(RegressionSuiteTest, CorpusIsNonTrivial) {
+  std::vector<RegressionCase> Cases = loadCorpus();
+  ASSERT_GE(Cases.size(), 40u) << "regression corpus missing or truncated";
+}
+
+TEST_F(RegressionSuiteTest, SlpMatchesExpectedVerdicts) {
+  SlpProver Prover(Terms);
+  for (const RegressionCase &C : loadCorpus()) {
+    sl::ParseResult P = sl::parseEntailment(Terms, C.Line);
+    ASSERT_TRUE(P.ok()) << "line " << C.LineNo << ": " << C.Line;
+    ProveResult R = Prover.prove(*P.Value);
+    EXPECT_EQ(R.V, C.ExpectValid ? Verdict::Valid : Verdict::Invalid)
+        << "line " << C.LineNo << ": " << C.Line;
+    if (R.V == Verdict::Invalid) {
+      ASSERT_TRUE(R.Cex.has_value());
+      EXPECT_TRUE(sl::isCounterexample(R.Cex->S, R.Cex->H, *P.Value))
+          << "line " << C.LineNo << ": bogus countermodel";
+    }
+  }
+}
+
+TEST_F(RegressionSuiteTest, BaselineAgreesOnCorpus) {
+  baselines::BerdineProver Baseline(Terms);
+  for (const RegressionCase &C : loadCorpus()) {
+    sl::ParseResult P = sl::parseEntailment(Terms, C.Line);
+    ASSERT_TRUE(P.ok());
+    Fuel F(5'000'000);
+    baselines::BaselineVerdict V = Baseline.prove(*P.Value, F);
+    if (V == baselines::BaselineVerdict::Unknown)
+      continue; // Fuel cap; skip rather than flake.
+    EXPECT_EQ(V == baselines::BaselineVerdict::Valid, C.ExpectValid)
+        << "line " << C.LineNo << ": " << C.Line;
+  }
+}

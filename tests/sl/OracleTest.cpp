@@ -1,0 +1,73 @@
+//===- tests/sl/OracleTest.cpp --------------------------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sl/Oracle.h"
+#include "sl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+using namespace slp::sl;
+
+namespace {
+
+class OracleTest : public ::testing::Test {
+protected:
+  SymbolTable Symbols;
+  TermTable Terms{Symbols};
+
+  Entailment parse(const char *S) {
+    ParseResult R = parseEntailment(Terms, S);
+    EXPECT_TRUE(R.ok());
+    return *R.Value;
+  }
+};
+
+} // namespace
+
+TEST_F(OracleTest, ReflexiveEntailmentValid) {
+  EXPECT_TRUE(oracleSaysValid(Terms, parse("lseg(x, y) |- lseg(x, y)")));
+}
+
+TEST_F(OracleTest, NextIsNonEmptyLseg) {
+  EXPECT_TRUE(
+      oracleSaysValid(Terms, parse("x != y & next(x, y) |- lseg(x, y)")));
+}
+
+TEST_F(OracleTest, LsegDoesNotEntailNext) {
+  auto Cex = searchCounterexample(Terms, parse("lseg(x, y) |- next(x, y)"));
+  ASSERT_TRUE(Cex.has_value());
+  // The returned model must actually be a counterexample.
+  Entailment E = parse("lseg(x, y) |- next(x, y)");
+  EXPECT_TRUE(isCounterexample(Cex->S, Cex->H, E));
+}
+
+TEST_F(OracleTest, UnguardedCompositionInvalid) {
+  // The classic cycle counterexample needs z aliased into the segment.
+  auto Cex =
+      searchCounterexample(Terms, parse("lseg(x, y) * lseg(y, z) |- lseg(x, z)"));
+  ASSERT_TRUE(Cex.has_value());
+}
+
+TEST_F(OracleTest, GuardedCompositionValid) {
+  EXPECT_TRUE(oracleSaysValid(
+      Terms, parse("lseg(x, y) * lseg(y, nil) |- lseg(x, nil)")));
+}
+
+TEST_F(OracleTest, InconsistentLhsValid) {
+  EXPECT_TRUE(oracleSaysValid(Terms, parse("x != x & emp |- false")));
+  EXPECT_TRUE(
+      oracleSaysValid(Terms, parse("next(x, y) * next(x, z) |- false")));
+}
+
+TEST_F(OracleTest, SatisfiableLhsNotFalse) {
+  EXPECT_FALSE(oracleSaysValid(Terms, parse("next(x, y) |- false")));
+}
+
+TEST_F(OracleTest, PureEntailment) {
+  EXPECT_TRUE(oracleSaysValid(Terms, parse("x = y & y = z & emp |- x = z & emp")));
+  EXPECT_FALSE(oracleSaysValid(Terms, parse("x = y & emp |- x = z & emp")));
+}

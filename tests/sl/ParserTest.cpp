@@ -1,0 +1,128 @@
+//===- tests/sl/ParserTest.cpp -------------------------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sl/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+using namespace slp::sl;
+
+namespace {
+
+class ParserTest : public ::testing::Test {
+protected:
+  SymbolTable Symbols;
+  TermTable Terms{Symbols};
+
+  Entailment parse(const char *S) {
+    ParseResult R = parseEntailment(Terms, S);
+    EXPECT_TRUE(R.ok()) << (R.Error ? R.Error->render() : "");
+    return R.ok() ? *R.Value : Entailment{};
+  }
+};
+
+} // namespace
+
+TEST_F(ParserTest, SimpleEntailment) {
+  Entailment E = parse("x != y & lseg(x, y) |- lseg(x, y)");
+  ASSERT_EQ(E.Lhs.Pure.size(), 1u);
+  EXPECT_TRUE(E.Lhs.Pure[0].Negated);
+  ASSERT_EQ(E.Lhs.Spatial.size(), 1u);
+  EXPECT_TRUE(E.Lhs.Spatial[0].isLseg());
+  ASSERT_EQ(E.Rhs.Spatial.size(), 1u);
+}
+
+TEST_F(ParserTest, ArrowSugarForNext) {
+  Entailment E = parse("x -> y |- next(x, y)");
+  ASSERT_EQ(E.Lhs.Spatial.size(), 1u);
+  EXPECT_TRUE(E.Lhs.Spatial[0].isNext());
+  EXPECT_EQ(E.Lhs.Spatial[0], E.Rhs.Spatial[0]);
+}
+
+TEST_F(ParserTest, StarAndAmpInterchangeable) {
+  Entailment E = parse("x = y * next(x, z) & next(z, w) |- emp");
+  EXPECT_EQ(E.Lhs.Pure.size(), 1u);
+  EXPECT_EQ(E.Lhs.Spatial.size(), 2u);
+  EXPECT_TRUE(E.Rhs.Spatial.empty());
+}
+
+TEST_F(ParserTest, TrueAndEmp) {
+  Entailment E = parse("true |- emp");
+  EXPECT_TRUE(E.Lhs.Pure.empty());
+  EXPECT_TRUE(E.Lhs.Spatial.empty());
+  EXPECT_TRUE(E.Rhs.Spatial.empty());
+}
+
+TEST_F(ParserTest, FalseOnRhs) {
+  Entailment E = parse("next(x, y) |- false");
+  ASSERT_EQ(E.Rhs.Pure.size(), 1u);
+  EXPECT_TRUE(E.Rhs.Pure[0].Negated);
+  EXPECT_TRUE(E.Rhs.Pure[0].Lhs->isNil());
+}
+
+TEST_F(ParserTest, NilIsSharedConstant) {
+  Entailment E = parse("x = nil |- lseg(x, nil)");
+  EXPECT_TRUE(E.Lhs.Pure[0].Rhs->isNil());
+  EXPECT_TRUE(E.Rhs.Spatial[0].Val->isNil());
+}
+
+TEST_F(ParserTest, DoubleEqualsAccepted) {
+  Entailment E = parse("x == y & emp |- x = y & emp");
+  EXPECT_FALSE(E.Lhs.Pure[0].Negated);
+}
+
+TEST_F(ParserTest, RoundTripThroughPrinter) {
+  const char *Inputs[] = {
+      "x != y & lseg(x, y) * next(y, z) |- lseg(x, z)",
+      "x = nil & emp |- lseg(x, x)",
+      "next(a, b) * next(b, c) * lseg(c, nil) |- lseg(a, nil)",
+  };
+  for (const char *In : Inputs) {
+    Entailment E1 = parse(In);
+    std::string Printed = str(Terms, E1);
+    Entailment E2 = parse(Printed.c_str());
+    EXPECT_EQ(str(Terms, E2), Printed) << "printer must be stable";
+  }
+}
+
+TEST_F(ParserTest, FileWithCommentsAndBlanks) {
+  FileParseResult R = parseEntailmentFile(Terms, "# header comment\n"
+                                                 "\n"
+                                                 "x -> y |- lseg(x, y)\n"
+                                                 "  // indented comment\n"
+                                                 "emp |- emp\n");
+  ASSERT_TRUE(R.ok()) << R.Error->render();
+  EXPECT_EQ(R.Entailments.size(), 2u);
+}
+
+TEST_F(ParserTest, ErrorMissingTurnstile) {
+  ParseResult R = parseEntailment(Terms, "x = y & emp");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error->Message.find("|-"), std::string::npos);
+}
+
+TEST_F(ParserTest, ErrorBadAtom) {
+  ParseResult R = parseEntailment(Terms, "lseg(x |- emp");
+  ASSERT_FALSE(R.ok());
+}
+
+TEST_F(ParserTest, ErrorTrailingGarbage) {
+  ParseResult R = parseEntailment(Terms, "emp |- emp emp");
+  ASSERT_FALSE(R.ok());
+}
+
+TEST_F(ParserTest, ErrorFalseOnLhsRejected) {
+  ParseResult R = parseEntailment(Terms, "false |- emp");
+  ASSERT_FALSE(R.ok());
+}
+
+TEST_F(ParserTest, FileErrorReportsLine) {
+  FileParseResult R =
+      parseEntailmentFile(Terms, "emp |- emp\nnot an entailment\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.Error->Line, 2u);
+}

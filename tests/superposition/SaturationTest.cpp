@@ -1,0 +1,218 @@
+//===- tests/superposition/SaturationTest.cpp ---------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "superposition/Saturation.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+using namespace slp::sup;
+
+namespace {
+
+class SaturationTest : public ::testing::Test {
+protected:
+  SymbolTable Symbols;
+  TermTable Terms{Symbols};
+  KBO Ord;
+  Saturation Sat{Terms, Ord};
+  Fuel Unlimited;
+
+  const Term *T(const char *N) { return Terms.constant(N); }
+};
+
+} // namespace
+
+TEST_F(SaturationTest, EmptySetIsSaturated) {
+  EXPECT_EQ(Sat.saturate(Unlimited), SatResult::Saturated);
+  EXPECT_FALSE(Sat.hasEmptyClause());
+}
+
+TEST_F(SaturationTest, DirectContradiction) {
+  Sat.addInput({}, {Equation(T("a"), T("b"))});
+  Sat.addInput({Equation(T("a"), T("b"))}, {});
+  EXPECT_EQ(Sat.saturate(Unlimited), SatResult::Unsatisfiable);
+  EXPECT_TRUE(Sat.hasEmptyClause());
+}
+
+TEST_F(SaturationTest, TransitivityRefutation) {
+  // a=b, b=c, a!=c is unsatisfiable.
+  Sat.addInput({}, {Equation(T("a"), T("b"))});
+  Sat.addInput({}, {Equation(T("b"), T("c"))});
+  Sat.addInput({Equation(T("a"), T("c"))}, {});
+  EXPECT_EQ(Sat.saturate(Unlimited), SatResult::Unsatisfiable);
+}
+
+TEST_F(SaturationTest, SatisfiableDiseqs) {
+  Sat.addInput({Equation(T("a"), T("b"))}, {});
+  Sat.addInput({Equation(T("b"), T("c"))}, {});
+  EXPECT_EQ(Sat.saturate(Unlimited), SatResult::Saturated);
+}
+
+TEST_F(SaturationTest, DisjunctionForcesCase) {
+  // a=b \/ a=c, a!=b, a!=c is unsatisfiable.
+  Sat.addInput({}, {Equation(T("a"), T("b")), Equation(T("a"), T("c"))});
+  Sat.addInput({Equation(T("a"), T("b"))}, {});
+  Sat.addInput({Equation(T("a"), T("c"))}, {});
+  EXPECT_EQ(Sat.saturate(Unlimited), SatResult::Unsatisfiable);
+}
+
+TEST_F(SaturationTest, DisjunctionSatisfiable) {
+  Sat.addInput({}, {Equation(T("a"), T("b")), Equation(T("a"), T("c"))});
+  Sat.addInput({Equation(T("a"), T("b"))}, {});
+  EXPECT_EQ(Sat.saturate(Unlimited), SatResult::Saturated);
+}
+
+TEST_F(SaturationTest, CongruenceChainRefutation) {
+  // x1=x2, x2=x3, ..., x9=x10, x1!=x10.
+  for (int I = 1; I != 10; ++I)
+    Sat.addInput({}, {Equation(T(("x" + std::to_string(I)).c_str()),
+                               T(("x" + std::to_string(I + 1)).c_str()))});
+  Sat.addInput({Equation(T("x1"), T("x10"))}, {});
+  EXPECT_EQ(Sat.saturate(Unlimited), SatResult::Unsatisfiable);
+}
+
+TEST_F(SaturationTest, TautologyInputIsDropped) {
+  auto R = Sat.addInput({}, {Equation(T("a"), T("a"))});
+  EXPECT_FALSE(R.New);
+  EXPECT_EQ(Sat.saturate(Unlimited), SatResult::Saturated);
+}
+
+TEST_F(SaturationTest, DuplicateInputNotNew) {
+  auto R1 = Sat.addInput({}, {Equation(T("a"), T("b"))});
+  auto R2 = Sat.addInput({}, {Equation(T("b"), T("a"))});
+  EXPECT_TRUE(R1.New);
+  EXPECT_FALSE(R2.New);
+  EXPECT_EQ(R1.Id, R2.Id);
+}
+
+TEST_F(SaturationTest, SubsumedInputNotNew) {
+  Sat.addInput({}, {Equation(T("a"), T("b"))});
+  auto R = Sat.addInput({Equation(T("c"), T("d"))},
+                        {Equation(T("a"), T("b")), Equation(T("a"), T("c"))});
+  EXPECT_FALSE(R.New);
+}
+
+TEST_F(SaturationTest, NilDiseqFromConstants) {
+  // a=nil, b=nil, a!=b is unsatisfiable.
+  Sat.addInput({}, {Equation(T("a"), Terms.nil())});
+  Sat.addInput({}, {Equation(T("b"), Terms.nil())});
+  Sat.addInput({Equation(T("a"), T("b"))}, {});
+  EXPECT_EQ(Sat.saturate(Unlimited), SatResult::Unsatisfiable);
+}
+
+TEST_F(SaturationTest, FuelExhaustionReported) {
+  for (int I = 0; I != 20; ++I)
+    Sat.addInput({}, {Equation(T(("a" + std::to_string(I)).c_str()),
+                               T(("b" + std::to_string(I)).c_str()))});
+  Fuel Tiny(3);
+  EXPECT_EQ(Sat.saturate(Tiny), SatResult::OutOfFuel);
+}
+
+TEST_F(SaturationTest, IncrementalAdditionAfterSaturation) {
+  Sat.addInput({}, {Equation(T("a"), T("b"))});
+  EXPECT_EQ(Sat.saturate(Unlimited), SatResult::Saturated);
+  Sat.addInput({Equation(T("a"), T("b"))}, {});
+  EXPECT_EQ(Sat.saturate(Unlimited), SatResult::Unsatisfiable);
+}
+
+TEST_F(SaturationTest, EmptyClauseDirectInput) {
+  Sat.addInput({}, {});
+  EXPECT_EQ(Sat.saturate(Unlimited), SatResult::Unsatisfiable);
+}
+
+TEST_F(SaturationTest, ProofRecordsParents) {
+  Sat.addInput({}, {Equation(T("a"), T("b"))});
+  Sat.addInput({Equation(T("a"), T("b"))}, {});
+  ASSERT_EQ(Sat.saturate(Unlimited), SatResult::Unsatisfiable);
+  const ClauseEntry &E = Sat.entry(Sat.emptyClauseId());
+  EXPECT_TRUE(E.C.empty());
+  // The refutation must trace back to inputs through real rules.
+  EXPECT_NE(E.J.Kind, RuleKind::Input);
+  EXPECT_FALSE(E.J.Parents.empty());
+}
+
+TEST_F(SaturationTest, ModelGuidedFindsCertifiedModelEarly) {
+  // A wide disjunction whose full saturation closure is large; the
+  // model-guided mode must stop after a few steps with a certified
+  // model rather than computing the closure.
+  std::vector<Equation> Wide;
+  for (int I = 0; I != 8; ++I)
+    Wide.emplace_back(T(("w" + std::to_string(I)).c_str()), T("target"));
+  Sat.addInput({}, Wide);
+  for (int I = 0; I != 6; ++I)
+    Sat.addInput({Equation(T(("w" + std::to_string(I)).c_str()),
+                           T(("w" + std::to_string(I + 1)).c_str()))},
+                 {});
+  std::optional<GroundRewriteSystem> Model;
+  EXPECT_EQ(Sat.saturateModelGuided(Unlimited, Model),
+            SatResult::Saturated);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_TRUE(Sat.verifyModel(*Model));
+}
+
+TEST_F(SaturationTest, ModelGuidedDetectsUnsat) {
+  Sat.addInput({}, {Equation(T("a"), T("b"))});
+  Sat.addInput({}, {Equation(T("b"), T("c"))});
+  Sat.addInput({Equation(T("a"), T("c"))}, {});
+  std::optional<GroundRewriteSystem> Model;
+  EXPECT_EQ(Sat.saturateModelGuided(Unlimited, Model),
+            SatResult::Unsatisfiable);
+  EXPECT_FALSE(Model.has_value());
+}
+
+TEST_F(SaturationTest, ModelGuidedEmptySetYieldsEmptyModel) {
+  std::optional<GroundRewriteSystem> Model;
+  EXPECT_EQ(Sat.saturateModelGuided(Unlimited, Model),
+            SatResult::Saturated);
+  ASSERT_TRUE(Model.has_value());
+  EXPECT_TRUE(Model->empty());
+}
+
+TEST_F(SaturationTest, ModelGuidedRespectsFuel) {
+  // Enough mutually-contradicting clauses that no early model
+  // certifies, with a one-step budget.
+  for (int I = 0; I != 10; ++I) {
+    Sat.addInput({}, {Equation(T(("p" + std::to_string(I)).c_str()),
+                               T(("q" + std::to_string(I)).c_str()))});
+    Sat.addInput({Equation(T(("p" + std::to_string(I)).c_str()),
+                           T(("q" + std::to_string(I)).c_str()))},
+                 {});
+  }
+  Fuel Tiny(1);
+  std::optional<GroundRewriteSystem> Model;
+  SatResult R = Sat.saturateModelGuided(Tiny, Model);
+  EXPECT_TRUE(R == SatResult::OutOfFuel || R == SatResult::Unsatisfiable);
+}
+
+TEST_F(SaturationTest, ModelGuidedCertifiedModelsEdgeResiduals) {
+  // Certification must include Lemma 3.1(2): each edge's generating
+  // clause residual is falsified by the final model.
+  Sat.addInput({}, {Equation(T("a"), T("b")), Equation(T("a"), T("c"))});
+  Sat.addInput({}, {Equation(T("d"), T("e"))});
+  std::optional<GroundRewriteSystem> Model;
+  ASSERT_EQ(Sat.saturateModelGuided(Unlimited, Model),
+            SatResult::Saturated);
+  ASSERT_TRUE(Model.has_value());
+  for (const RewriteRule &Rule : Model->rules()) {
+    const Clause &Gen = Sat.entry(Rule.GeneratingClause).C;
+    Equation Edge(Rule.Lhs, Rule.Rhs);
+    for (const Equation &E : Gen.pos())
+      if (E != Edge)
+        EXPECT_FALSE(Model->equivalent(E.lhs(), E.rhs()));
+    for (const Equation &E : Gen.neg())
+      EXPECT_TRUE(Model->equivalent(E.lhs(), E.rhs()));
+  }
+}
+
+TEST_F(SaturationTest, NoSimplificationStillRefutes) {
+  Saturation Bare(Terms, Ord, SaturationOptions{false, false});
+  Bare.addInput({}, {Equation(T("a"), T("b"))});
+  Bare.addInput({}, {Equation(T("b"), T("c"))});
+  Bare.addInput({Equation(T("a"), T("c"))}, {});
+  Fuel F;
+  EXPECT_EQ(Bare.saturate(F), SatResult::Unsatisfiable);
+}

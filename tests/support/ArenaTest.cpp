@@ -1,0 +1,115 @@
+//===- tests/support/ArenaTest.cpp ------------------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/Fuel.h"
+#include "support/StringInterner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+using namespace slp;
+
+TEST(Arena, AllocatesAlignedMemory) {
+  Arena A;
+  for (size_t Align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    void *P = A.allocate(3, Align);
+    ASSERT_NE(P, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u);
+  }
+}
+
+TEST(Arena, CreateConstructsObjects) {
+  Arena A;
+  struct Point {
+    int X, Y;
+  };
+  Point *P = A.create<Point>(Point{3, 4});
+  EXPECT_EQ(P->X, 3);
+  EXPECT_EQ(P->Y, 4);
+}
+
+TEST(Arena, GrowsAcrossSlabs) {
+  Arena A(/*SlabBytes=*/128);
+  std::vector<char *> Ptrs;
+  for (int I = 0; I != 100; ++I) {
+    char *P = A.allocateArray<char>(100);
+    std::memset(P, I, 100);
+    Ptrs.push_back(P);
+  }
+  // Every allocation stays valid and uncorrupted.
+  for (int I = 0; I != 100; ++I)
+    for (int J = 0; J != 100; ++J)
+      ASSERT_EQ(Ptrs[I][J], static_cast<char>(I));
+  EXPECT_GT(A.numSlabs(), 1u);
+  EXPECT_GE(A.bytesAllocated(), 100u * 100u);
+}
+
+TEST(Arena, OversizeAllocationGetsOwnSlab) {
+  Arena A(/*SlabBytes=*/64);
+  char *P = A.allocateArray<char>(10000);
+  std::memset(P, 7, 10000);
+  EXPECT_EQ(P[9999], 7);
+}
+
+TEST(Arena, CopyArrayCopiesContents) {
+  Arena A;
+  int Src[] = {1, 2, 3, 4};
+  int *Dst = A.copyArray(Src, 4);
+  EXPECT_EQ(Dst[0], 1);
+  EXPECT_EQ(Dst[3], 4);
+  EXPECT_NE(Dst, Src);
+}
+
+TEST(Arena, ResetReleasesSlabs) {
+  Arena A;
+  (void)A.allocateArray<char>(1000);
+  A.reset();
+  EXPECT_EQ(A.numSlabs(), 0u);
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+}
+
+TEST(StringInterner, ReturnsStableEqualViews) {
+  StringInterner SI;
+  std::string A = "hello";
+  std::string_view V1 = SI.intern(A);
+  A[0] = 'x'; // Mutating the source must not affect the interned copy.
+  std::string_view V2 = SI.intern("hello");
+  EXPECT_EQ(V1, "hello");
+  EXPECT_EQ(V1.data(), V2.data());
+  EXPECT_EQ(SI.size(), 1u);
+}
+
+TEST(StringInterner, DistinctStringsDistinctViews) {
+  StringInterner SI;
+  EXPECT_NE(SI.intern("a").data(), SI.intern("b").data());
+  EXPECT_EQ(SI.size(), 2u);
+}
+
+TEST(Fuel, UnlimitedNeverExhausts) {
+  Fuel F;
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_TRUE(F.consume());
+  EXPECT_FALSE(F.exhausted());
+  EXPECT_EQ(F.used(), 1000u);
+}
+
+TEST(Fuel, LimitedExhausts) {
+  Fuel F(3);
+  EXPECT_TRUE(F.consume());
+  EXPECT_TRUE(F.consume());
+  EXPECT_TRUE(F.consume());
+  EXPECT_FALSE(F.consume());
+  EXPECT_TRUE(F.exhausted());
+}
+
+TEST(Fuel, BulkConsumption) {
+  Fuel F(10);
+  EXPECT_TRUE(F.consume(10));
+  EXPECT_FALSE(F.consume());
+}

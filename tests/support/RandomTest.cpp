@@ -1,0 +1,54 @@
+//===- tests/support/RandomTest.cpp -----------------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+TEST(Random, Deterministic) {
+  SplitMix64 A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, SeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(Random, BelowStaysInRange) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I != 1000; ++I)
+    EXPECT_LT(Rng.below(17), 17u);
+}
+
+TEST(Random, BelowCoversRange) {
+  SplitMix64 Rng(7);
+  bool Seen[5] = {};
+  for (int I = 0; I != 200; ++I)
+    Seen[Rng.below(5)] = true;
+  for (bool S : Seen)
+    EXPECT_TRUE(S);
+}
+
+TEST(Random, UnitInHalfOpenInterval) {
+  SplitMix64 Rng(9);
+  for (int I = 0; I != 1000; ++I) {
+    double U = Rng.unit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(Random, ChanceRoughlyCalibrated) {
+  SplitMix64 Rng(11);
+  int Hits = 0;
+  for (int I = 0; I != 10000; ++I)
+    Hits += Rng.chance(0.3);
+  EXPECT_NEAR(Hits / 10000.0, 0.3, 0.03);
+}

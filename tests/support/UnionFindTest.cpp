@@ -1,0 +1,39 @@
+//===- tests/support/UnionFindTest.cpp ---------------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+TEST(UnionFind, SingletonsAreDistinct) {
+  UnionFind UF;
+  EXPECT_FALSE(UF.same(0, 1));
+  EXPECT_EQ(UF.find(5), 5u);
+}
+
+TEST(UnionFind, UniteMerges) {
+  UnionFind UF;
+  UF.unite(1, 2);
+  UF.unite(2, 3);
+  EXPECT_TRUE(UF.same(1, 3));
+  EXPECT_FALSE(UF.same(1, 4));
+}
+
+TEST(UnionFind, TransitiveChains) {
+  UnionFind UF;
+  for (uint32_t I = 0; I != 100; ++I)
+    UF.unite(I, I + 1);
+  EXPECT_TRUE(UF.same(0, 100));
+  EXPECT_FALSE(UF.same(0, 101));
+}
+
+TEST(UnionFind, GrowsOnDemand) {
+  UnionFind UF;
+  UF.unite(1000, 2000);
+  EXPECT_TRUE(UF.same(1000, 2000));
+}

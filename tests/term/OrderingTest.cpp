@@ -1,0 +1,185 @@
+//===- tests/term/OrderingTest.cpp --------------------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// KBO must be a total simplification order on ground terms: total,
+/// irreflexive, transitive, with nil minimal among constants and the
+/// subterm property. Checked on hand-picked and on randomly generated
+/// term families.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "term/Ordering.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+class OrderingTest : public ::testing::Test {
+protected:
+  SymbolTable Symbols;
+  TermTable Terms{Symbols};
+  KBO Ord;
+
+  /// Random ground term over constants a..e and unary/binary symbols.
+  const Term *randomTerm(SplitMix64 &Rng, unsigned Depth) {
+    if (Depth == 0 || Rng.chance(0.4)) {
+      static const char *Names[] = {"a", "b", "c", "d", "e"};
+      return Terms.constant(Names[Rng.below(5)]);
+    }
+    if (Rng.chance(0.5)) {
+      Symbol G = Symbols.intern("g", 1);
+      const Term *A = randomTerm(Rng, Depth - 1);
+      return Terms.make(G, std::vector<const Term *>{A});
+    }
+    Symbol F = Symbols.intern("f", 2);
+    const Term *A = randomTerm(Rng, Depth - 1);
+    const Term *B = randomTerm(Rng, Depth - 1);
+    return Terms.make(F, std::vector<const Term *>{A, B});
+  }
+};
+
+} // namespace
+
+TEST_F(OrderingTest, NilIsMinimalConstant) {
+  for (const char *Name : {"a", "b", "z", "x1"})
+    EXPECT_TRUE(Ord.greater(Terms.constant(Name), Terms.nil()))
+        << Name << " must be KBO-greater than nil";
+}
+
+TEST_F(OrderingTest, ConstantsOrderedByPrecedence) {
+  const Term *A = Terms.constant("a");
+  const Term *B = Terms.constant("b");
+  // Creation order: a before b, so b has the higher rank.
+  EXPECT_TRUE(Ord.greater(B, A));
+  EXPECT_FALSE(Ord.greater(A, B));
+}
+
+TEST_F(OrderingTest, WeightDominates) {
+  Symbol G = Symbols.intern("g", 1);
+  const Term *A = Terms.constant("a");
+  const Term *GA = Terms.make(G, std::vector<const Term *>{A});
+  const Term *GGA = Terms.make(G, std::vector<const Term *>{GA});
+  EXPECT_TRUE(Ord.greater(GA, A));   // Subterm property.
+  EXPECT_TRUE(Ord.greater(GGA, GA)); // Deeper is heavier.
+  EXPECT_EQ(Ord.weight(A), 1u);
+  EXPECT_EQ(Ord.weight(GGA), 3u);
+}
+
+TEST_F(OrderingTest, MaxMinConsistent) {
+  const Term *A = Terms.constant("a");
+  const Term *B = Terms.constant("b");
+  EXPECT_EQ(Ord.max(A, B), B);
+  EXPECT_EQ(Ord.max(B, A), B);
+  EXPECT_EQ(Ord.min(A, B), A);
+}
+
+TEST_F(OrderingTest, TotalityOnRandomTerms) {
+  SplitMix64 Rng(2024);
+  for (int I = 0; I != 300; ++I) {
+    const Term *S = randomTerm(Rng, 3);
+    const Term *T = randomTerm(Rng, 3);
+    Order O = Ord.compare(S, T);
+    if (S == T)
+      EXPECT_EQ(O, Order::Equal);
+    else
+      EXPECT_NE(O, Order::Equal)
+          << "distinct ground terms must be strictly comparable";
+    // Antisymmetry.
+    EXPECT_EQ(Ord.compare(T, S), flip(O));
+  }
+}
+
+TEST_F(OrderingTest, TransitivityOnRandomTerms) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I != 200; ++I) {
+    const Term *A = randomTerm(Rng, 3);
+    const Term *B = randomTerm(Rng, 3);
+    const Term *C = randomTerm(Rng, 3);
+    if (Ord.greater(A, B) && Ord.greater(B, C))
+      EXPECT_TRUE(Ord.greater(A, C));
+  }
+}
+
+TEST_F(OrderingTest, SubtermPropertyOnRandomTerms) {
+  SplitMix64 Rng(99);
+  for (int I = 0; I != 200; ++I) {
+    const Term *T = randomTerm(Rng, 3);
+    for (const Term *Arg : T->args())
+      EXPECT_TRUE(Ord.greater(T, Arg));
+  }
+}
+
+TEST_F(OrderingTest, CustomPrecedenceRespected) {
+  Precedence P;
+  Symbol A = Symbols.constant("a");
+  Symbol B = Symbols.constant("b");
+  P.setRank(A, 100);
+  P.setRank(B, 50);
+  KBO Custom(P);
+  EXPECT_TRUE(Custom.greater(Terms.constant("a"), Terms.constant("b")));
+}
+
+//===----------------------------------------------------------------------===//
+// LPO: the same simplification-order laws must hold.
+//===----------------------------------------------------------------------===//
+
+TEST_F(OrderingTest, LpoNilMinimalConstant) {
+  LPO L;
+  for (const char *Name : {"a", "b", "z"})
+    EXPECT_TRUE(L.greater(Terms.constant(Name), Terms.nil()));
+}
+
+TEST_F(OrderingTest, LpoAgreesWithKboOnConstants) {
+  // On constants both orders reduce to the precedence, which is what
+  // the SL fragment exercises.
+  LPO L;
+  std::vector<const Term *> Cs;
+  for (int I = 0; I != 10; ++I)
+    Cs.push_back(Terms.constant("c" + std::to_string(I)));
+  for (const Term *A : Cs)
+    for (const Term *B : Cs)
+      EXPECT_EQ(L.compare(A, B), Ord.compare(A, B));
+}
+
+TEST_F(OrderingTest, LpoTotalityAntisymmetryOnRandomTerms) {
+  LPO L;
+  SplitMix64 Rng(404);
+  for (int I = 0; I != 300; ++I) {
+    const Term *S = randomTerm(Rng, 3);
+    const Term *T = randomTerm(Rng, 3);
+    Order O = L.compare(S, T);
+    if (S == T)
+      EXPECT_EQ(O, Order::Equal);
+    else
+      EXPECT_NE(O, Order::Equal);
+    EXPECT_EQ(L.compare(T, S), flip(O));
+  }
+}
+
+TEST_F(OrderingTest, LpoTransitivityOnRandomTerms) {
+  LPO L;
+  SplitMix64 Rng(405);
+  for (int I = 0; I != 200; ++I) {
+    const Term *A = randomTerm(Rng, 3);
+    const Term *B = randomTerm(Rng, 3);
+    const Term *C = randomTerm(Rng, 3);
+    if (L.greater(A, B) && L.greater(B, C))
+      EXPECT_TRUE(L.greater(A, C));
+  }
+}
+
+TEST_F(OrderingTest, LpoSubtermProperty) {
+  LPO L;
+  SplitMix64 Rng(406);
+  for (int I = 0; I != 200; ++I) {
+    const Term *T = randomTerm(Rng, 3);
+    for (const Term *Arg : T->args())
+      EXPECT_TRUE(L.greater(T, Arg));
+  }
+}

@@ -1,0 +1,103 @@
+//===- tests/term/RewriteTest.cpp ---------------------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Rewrite.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+class RewriteTest : public ::testing::Test {
+protected:
+  SymbolTable Symbols;
+  TermTable Terms{Symbols};
+};
+
+} // namespace
+
+TEST_F(RewriteTest, EmptySystemIsIdentity) {
+  GroundRewriteSystem R(Terms);
+  const Term *A = Terms.constant("a");
+  EXPECT_EQ(R.normalize(A), A);
+  EXPECT_TRUE(R.equivalent(A, A));
+  EXPECT_FALSE(R.equivalent(A, Terms.constant("b")));
+}
+
+TEST_F(RewriteTest, ChainsFollowToNormalForm) {
+  GroundRewriteSystem R(Terms);
+  const Term *A = Terms.constant("a");
+  const Term *B = Terms.constant("b");
+  const Term *C = Terms.constant("c");
+  R.addRule(C, B, 1);
+  R.addRule(B, A, 2);
+  EXPECT_EQ(R.normalize(C), A);
+  EXPECT_EQ(R.normalize(B), A);
+  EXPECT_TRUE(R.equivalent(B, C));
+}
+
+TEST_F(RewriteTest, RewritesUnderFunctionSymbols) {
+  GroundRewriteSystem R(Terms);
+  Symbol F = Symbols.intern("f", 1);
+  const Term *A = Terms.constant("a");
+  const Term *B = Terms.constant("b");
+  const Term *FB = Terms.make(F, std::vector<const Term *>{B});
+  const Term *FA = Terms.make(F, std::vector<const Term *>{A});
+  R.addRule(B, A, 1);
+  EXPECT_EQ(R.normalize(FB), FA);
+}
+
+TEST_F(RewriteTest, InnermostRootCascades) {
+  GroundRewriteSystem R(Terms);
+  Symbol F = Symbols.intern("f", 1);
+  const Term *A = Terms.constant("a");
+  const Term *B = Terms.constant("b");
+  const Term *FA = Terms.make(F, std::vector<const Term *>{A});
+  // b -> a, f(a) -> a: then f(b) -> f(a) -> a.
+  R.addRule(B, A, 1);
+  R.addRule(FA, A, 2);
+  const Term *FB = Terms.make(F, std::vector<const Term *>{B});
+  EXPECT_EQ(R.normalize(FB), A);
+}
+
+TEST_F(RewriteTest, TrackedNormalizationReportsRules) {
+  GroundRewriteSystem R(Terms);
+  const Term *A = Terms.constant("a");
+  const Term *B = Terms.constant("b");
+  const Term *C = Terms.constant("c");
+  R.addRule(C, B, 11);
+  R.addRule(B, A, 22);
+  std::vector<const RewriteRule *> Used;
+  EXPECT_EQ(R.normalizeTracked(C, Used), A);
+  ASSERT_EQ(Used.size(), 2u);
+  EXPECT_EQ(Used[0]->GeneratingClause, 11u);
+  EXPECT_EQ(Used[1]->GeneratingClause, 22u);
+}
+
+TEST_F(RewriteTest, CacheInvalidatedByNewRules) {
+  GroundRewriteSystem R(Terms);
+  const Term *A = Terms.constant("a");
+  const Term *B = Terms.constant("b");
+  const Term *C = Terms.constant("c");
+  R.addRule(C, B, 1);
+  EXPECT_EQ(R.normalize(C), B); // Caches c -> b.
+  R.addRule(B, A, 2);
+  EXPECT_EQ(R.normalize(C), A); // Must see the new rule.
+}
+
+TEST_F(RewriteTest, RuleLookup) {
+  GroundRewriteSystem R(Terms);
+  const Term *A = Terms.constant("a");
+  const Term *B = Terms.constant("b");
+  EXPECT_FALSE(R.reducibleAtRoot(B));
+  R.addRule(B, A, 5);
+  EXPECT_TRUE(R.reducibleAtRoot(B));
+  ASSERT_NE(R.ruleFor(B), nullptr);
+  EXPECT_EQ(R.ruleFor(B)->Rhs, A);
+  EXPECT_EQ(R.ruleFor(A), nullptr);
+  EXPECT_EQ(R.size(), 1u);
+}

@@ -1,0 +1,84 @@
+//===- tests/term/TermTest.cpp ------------------------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Term.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+
+namespace {
+
+class TermTest : public ::testing::Test {
+protected:
+  SymbolTable Symbols;
+  TermTable Terms{Symbols};
+};
+
+} // namespace
+
+TEST_F(TermTest, NilIsSymbolZero) {
+  EXPECT_EQ(SymbolTable::nil().id(), 0u);
+  EXPECT_EQ(Symbols.name(SymbolTable::nil()), "nil");
+  EXPECT_TRUE(Terms.nil()->isNil());
+}
+
+TEST_F(TermTest, ConstantsAreInterned) {
+  const Term *A1 = Terms.constant("a");
+  const Term *A2 = Terms.constant("a");
+  const Term *B = Terms.constant("b");
+  EXPECT_EQ(A1, A2);
+  EXPECT_NE(A1, B);
+  EXPECT_TRUE(A1->isConstant());
+}
+
+TEST_F(TermTest, CompoundTermsAreInterned) {
+  Symbol F = Symbols.intern("f", 2);
+  const Term *A = Terms.constant("a");
+  const Term *B = Terms.constant("b");
+  const Term *T1 = Terms.make(F, std::vector<const Term *>{A, B});
+  const Term *T2 = Terms.make(F, std::vector<const Term *>{A, B});
+  const Term *T3 = Terms.make(F, std::vector<const Term *>{B, A});
+  EXPECT_EQ(T1, T2);
+  EXPECT_NE(T1, T3);
+  EXPECT_EQ(T1->numArgs(), 2u);
+  EXPECT_EQ(T1->arg(0), A);
+  EXPECT_EQ(T1->arg(1), B);
+}
+
+TEST_F(TermTest, IdsAreDense) {
+  const Term *Nil = Terms.nil();
+  const Term *A = Terms.constant("a");
+  EXPECT_EQ(Terms.byId(Nil->id()), Nil);
+  EXPECT_EQ(Terms.byId(A->id()), A);
+  EXPECT_EQ(Terms.size(), 2u);
+}
+
+TEST_F(TermTest, NestedTermsPrint) {
+  Symbol F = Symbols.intern("f", 2);
+  Symbol G = Symbols.intern("g", 1);
+  const Term *A = Terms.constant("a");
+  const Term *GA = Terms.make(G, std::vector<const Term *>{A});
+  const Term *T = Terms.make(F, std::vector<const Term *>{GA, Terms.nil()});
+  EXPECT_EQ(Terms.str(T), "f(g(a), nil)");
+}
+
+TEST_F(TermTest, ReinternSameArityOk) {
+  Symbol F1 = Symbols.intern("f", 2);
+  Symbol F2 = Symbols.intern("f", 2);
+  EXPECT_EQ(F1, F2);
+  EXPECT_EQ(Symbols.arity(F1), 2u);
+}
+
+TEST_F(TermTest, ManyConstantsStayDistinct) {
+  std::vector<const Term *> Cs;
+  for (int I = 0; I != 500; ++I)
+    Cs.push_back(Terms.constant("v" + std::to_string(I)));
+  for (int I = 0; I != 500; ++I)
+    EXPECT_EQ(Cs[I], Terms.constant("v" + std::to_string(I)));
+  // The nil *symbol* always exists but its term is created lazily.
+  EXPECT_EQ(Terms.size(), 500u);
+}

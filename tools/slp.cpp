@@ -1,0 +1,169 @@
+//===- tools/slp.cpp - Command line entailment checker ------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `slp` command line tool: checks entailments (one per line) from
+/// a file or stdin.
+///
+///   slp [options] [file]
+///     --proof       print the refutation for valid entailments
+///     --model       print the countermodel for invalid entailments
+///     --check-proof audit each refutation with the semantic checker
+///     --dot-proof   emit the refutation as a Graphviz digraph
+///     --dot-model   emit the countermodel heap as a Graphviz digraph
+///     --stats       print per-query statistics
+///     --prover=P    slp (default) | berdine | greedy
+///     --fuel=N      inference step budget per query (default unlimited)
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/BerdineProver.h"
+#include "baselines/UnfoldingProver.h"
+#include "core/Dot.h"
+#include "core/ProofTree.h"
+#include "core/Prover.h"
+#include "sl/Parser.h"
+#include "superposition/ProofCheck.h"
+#include "support/Timer.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace slp;
+
+namespace {
+
+struct CliOptions {
+  bool Proof = false;
+  bool Model = false;
+  bool CheckProof = false;
+  bool DotProof = false;
+  bool DotModel = false;
+  bool Stats = false;
+  std::string Prover = "slp";
+  uint64_t FuelSteps = 0; // 0 = unlimited.
+  std::string File;       // Empty = stdin.
+};
+
+int usage() {
+  std::cerr << "usage: slp [--proof] [--model] [--check-proof] "
+               "[--dot-proof] [--dot-model] [--stats] "
+               "[--prover=slp|berdine|greedy] [--fuel=N] [file]\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions Opts;
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--proof")
+      Opts.Proof = true;
+    else if (Arg == "--model")
+      Opts.Model = true;
+    else if (Arg == "--check-proof")
+      Opts.CheckProof = true;
+    else if (Arg == "--dot-proof")
+      Opts.DotProof = true;
+    else if (Arg == "--dot-model")
+      Opts.DotModel = true;
+    else if (Arg == "--stats")
+      Opts.Stats = true;
+    else if (Arg.rfind("--prover=", 0) == 0)
+      Opts.Prover = Arg.substr(9);
+    else if (Arg.rfind("--fuel=", 0) == 0)
+      Opts.FuelSteps = std::stoull(Arg.substr(7));
+    else if (!Arg.empty() && Arg[0] == '-')
+      return usage();
+    else
+      Opts.File = Arg;
+  }
+  if (Opts.Prover != "slp" && Opts.Prover != "berdine" &&
+      Opts.Prover != "greedy")
+    return usage();
+
+  std::string Input;
+  if (Opts.File.empty()) {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Input = SS.str();
+  } else {
+    std::ifstream In(Opts.File);
+    if (!In) {
+      std::cerr << "error: cannot open " << Opts.File << "\n";
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Input = SS.str();
+  }
+
+  SymbolTable Symbols;
+  TermTable Terms(Symbols);
+  sl::FileParseResult Parsed = sl::parseEntailmentFile(Terms, Input);
+  if (!Parsed.ok()) {
+    std::cerr << (Opts.File.empty() ? "<stdin>" : Opts.File) << ":"
+              << Parsed.Error->render() << "\n";
+    return 1;
+  }
+
+  core::SlpProver Slp(Terms);
+  baselines::BerdineProver Berdine(Terms);
+  baselines::UnfoldingProver Greedy(Terms);
+
+  unsigned Index = 0;
+  for (const sl::Entailment &E : Parsed.Entailments) {
+    ++Index;
+    Fuel F = Opts.FuelSteps ? Fuel(Opts.FuelSteps) : Fuel();
+    Timer T;
+    std::string VerdictText;
+    if (Opts.Prover == "berdine") {
+      VerdictText = baselineVerdictName(Berdine.prove(E, F));
+    } else if (Opts.Prover == "greedy") {
+      VerdictText = Greedy.prove(E, F) == baselines::GreedyVerdict::Valid
+                        ? "valid"
+                        : "not-proved";
+    } else {
+      core::ProveResult R = Slp.prove(E, F);
+      VerdictText = core::verdictName(R.V);
+      if (Opts.Model && R.Cex)
+        VerdictText += "\n  countermodel: " +
+                       sl::str(Terms, R.Cex->S, R.Cex->H);
+      if (Opts.Proof && R.V == core::Verdict::Valid)
+        VerdictText +=
+            "\n" + core::renderRefutation(Slp.saturation(), Slp.inputLabels());
+      if (Opts.CheckProof && R.V == core::Verdict::Valid) {
+        sup::ProofCheckResult PC = sup::checkRefutation(Slp.saturation());
+        VerdictText += "\n  proof audit: ";
+        VerdictText += PC.Ok ? "ok" : ("FAILED: " + PC.Error);
+        VerdictText += " (" + std::to_string(PC.StepsChecked) + " checked, " +
+                       std::to_string(PC.StepsSkipped) + " skipped)";
+      }
+      if (Opts.DotProof && R.V == core::Verdict::Valid)
+        VerdictText += "\n" + core::proofToDot(Slp.saturation(),
+                                               Slp.inputLabels(),
+                                               Slp.saturation().emptyClauseId());
+      if (Opts.DotModel && R.Cex)
+        VerdictText += "\n" + core::counterModelToDot(Terms, R.Cex->S,
+                                                      R.Cex->H);
+      if (Opts.Stats)
+        VerdictText += "\n  stats: outer=" +
+                       std::to_string(R.Stats.OuterIterations) +
+                       " inner=" + std::to_string(R.Stats.InnerIterations) +
+                       " clauses=" + std::to_string(R.Stats.PureClauses) +
+                       " fuel=" + std::to_string(R.Stats.FuelUsed);
+    }
+    std::cout << "[" << Index << "] " << sl::str(Terms, E) << "\n    "
+              << VerdictText;
+    if (Opts.Stats)
+      std::cout << "\n    time: " << T.seconds() << "s";
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+//===- tools/slpgen.cpp - Random instance generator ---------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits random entailment instances (in `slp` input syntax) from the
+/// two distributions of the paper's evaluation.
+///
+///   slpgen --dist=1|2 [--vars=N] [--count=K] [--seed=S]
+///          [--plseg=P] [--pne=P] [--pnext=P]
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/RandomEntailments.h"
+#include "sl/Formula.h"
+
+#include <iostream>
+#include <string>
+
+using namespace slp;
+
+int main(int argc, char **argv) {
+  unsigned Dist = 1, Vars = 10, Count = 10;
+  uint64_t Seed = 1;
+  double PLseg = 0.10, PNe = 0.20, PNext = 0.70;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    auto Value = [&](size_t Prefix) { return Arg.substr(Prefix); };
+    if (Arg.rfind("--dist=", 0) == 0)
+      Dist = std::stoul(Value(7));
+    else if (Arg.rfind("--vars=", 0) == 0)
+      Vars = std::stoul(Value(7));
+    else if (Arg.rfind("--count=", 0) == 0)
+      Count = std::stoul(Value(8));
+    else if (Arg.rfind("--seed=", 0) == 0)
+      Seed = std::stoull(Value(7));
+    else if (Arg.rfind("--plseg=", 0) == 0)
+      PLseg = std::stod(Value(8));
+    else if (Arg.rfind("--pne=", 0) == 0)
+      PNe = std::stod(Value(6));
+    else if (Arg.rfind("--pnext=", 0) == 0)
+      PNext = std::stod(Value(8));
+    else {
+      std::cerr << "usage: slpgen --dist=1|2 [--vars=N] [--count=K] "
+                   "[--seed=S] [--plseg=P] [--pne=P] [--pnext=P]\n";
+      return 2;
+    }
+  }
+
+  SymbolTable Symbols;
+  TermTable Terms(Symbols);
+  SplitMix64 Rng(Seed);
+  for (unsigned I = 0; I != Count; ++I) {
+    sl::Entailment E = Dist == 1
+                           ? gen::distribution1(Terms, Rng, Vars, PLseg, PNe)
+                           : gen::distribution2(Terms, Rng, Vars, PNext);
+    std::cout << sl::str(Terms, E) << "\n";
+  }
+  return 0;
+}
