@@ -1,0 +1,127 @@
+//===- engine/BatchProver.cpp - Concurrent batch proving ----------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/BatchProver.h"
+
+#include "engine/ThreadPool.h"
+#include "engine/WorkQueue.h"
+#include "sl/Parser.h"
+#include "support/Timer.h"
+
+using namespace slp;
+using namespace slp::engine;
+
+BatchProver::BatchProver(BatchOptions Opts)
+    : Opts(Opts), Cache(Opts.Cache) {}
+
+QueryResult BatchProver::proveOne(const std::string &Query) {
+  QueryResult Out;
+
+  // Parse into a query-local table: TermTable is not thread safe, and
+  // a table shared across queries would make symbol ids (and thus the
+  // term ordering the calculus uses) depend on scheduling history.
+  SymbolTable ParseSyms;
+  TermTable ParseTerms(ParseSyms);
+  sl::ParseResult P = sl::parseEntailment(ParseTerms, Query);
+  if (!P.ok()) {
+    Out.Status = QueryStatus::ParseError;
+    Out.Error = P.Error->render();
+    return Out;
+  }
+
+  CanonicalQuery Q = CanonicalQuery::of(*P.Value);
+  if (Opts.CacheEnabled) {
+    if (std::optional<core::Verdict> Hit = Cache.lookup(Q)) {
+      Out.V = *Hit;
+      Out.FromCache = true;
+      return Out;
+    }
+  }
+
+  // Prove the canonical form in a fresh table so the verdict is a pure
+  // function of the canonical key (see the file comment in the header).
+  SymbolTable Syms;
+  TermTable Terms(Syms);
+  sl::Entailment E = Q.rebuild(Terms);
+  core::SlpProver Prover(Terms, Opts.Prover);
+  Fuel F = Opts.FuelPerQuery ? Fuel(Opts.FuelPerQuery) : Fuel();
+  core::ProveResult R = Prover.prove(E, F);
+  Out.V = R.V;
+  Out.FuelUsed = R.Stats.FuelUsed;
+  if (Opts.CacheEnabled)
+    Cache.insert(Q, R.V);
+  return Out;
+}
+
+std::vector<QueryResult>
+BatchProver::run(const std::vector<std::string> &Queries) {
+  std::vector<QueryResult> Results(Queries.size());
+  Timer T;
+
+  unsigned Jobs = ThreadPool::resolveJobs(Opts.Jobs);
+  if (Jobs <= 1 || Queries.size() <= 1) {
+    for (size_t I = 0; I != Queries.size(); ++I)
+      Results[I] = proveOne(Queries[I]);
+  } else {
+    WorkQueue Queue(Queries.size());
+    ThreadPool Pool(Jobs);
+    for (unsigned W = 0; W != Jobs; ++W)
+      Pool.submit([this, &Queue, &Queries, &Results] {
+        size_t I;
+        while (Queue.pop(I))
+          Results[I] = proveOne(Queries[I]);
+      });
+    Pool.wait();
+  }
+
+  Stats = BatchStats();
+  Stats.Seconds = T.seconds();
+  Stats.Queries = Queries.size();
+  for (const QueryResult &R : Results) {
+    if (R.Status == QueryStatus::ParseError) {
+      ++Stats.ParseErrors;
+      continue;
+    }
+    if (R.FromCache)
+      ++Stats.CacheHits;
+    else if (Opts.CacheEnabled)
+      ++Stats.CacheMisses;
+    switch (R.V) {
+    case core::Verdict::Valid:
+      ++Stats.Valid;
+      break;
+    case core::Verdict::Invalid:
+      ++Stats.Invalid;
+      break;
+    case core::Verdict::Unknown:
+      ++Stats.Unknown;
+      break;
+    }
+  }
+  return Results;
+}
+
+std::vector<std::string> BatchProver::splitCorpus(std::string_view Text) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    std::string_view Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    size_t NonWs = Line.find_first_not_of(" \t\r");
+    if (NonWs == std::string_view::npos)
+      continue;
+    std::string_view Body = Line.substr(NonWs);
+    if (Body[0] == '#' || Body.rfind("//", 0) == 0)
+      continue;
+    Lines.emplace_back(Line);
+    if (End == Text.size())
+      break;
+  }
+  return Lines;
+}

@@ -1,0 +1,166 @@
+//===- engine/CanonicalKey.cpp - Alpha-invariant query keys -------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/CanonicalKey.h"
+
+#include "support/Hashing.h"
+
+#include <unordered_map>
+
+using namespace slp;
+using namespace slp::engine;
+
+namespace {
+
+/// Assigns dense canonical indices to constants by first occurrence.
+/// Index 0 is reserved for nil, which must keep its identity: validity
+/// is only invariant under renamings that fix nil.
+class Renaming {
+public:
+  uint32_t index(const Term *T) {
+    if (T->isNil())
+      return 0;
+    auto [It, New] = Map.emplace(T, NextIndex);
+    if (New)
+      ++NextIndex;
+    return It->second;
+  }
+
+  /// Looks the index up without assigning one; ~0u if unseen.
+  uint32_t peek(const Term *T) const {
+    if (T->isNil())
+      return 0;
+    auto It = Map.find(T);
+    return It == Map.end() ? ~0u : It->second;
+  }
+
+  uint32_t numAssigned() const { return NextIndex; }
+
+private:
+  std::unordered_map<const Term *, uint32_t> Map;
+  uint32_t NextIndex = 1;
+};
+
+} // namespace
+
+CanonicalQuery CanonicalQuery::of(const sl::Entailment &E) {
+  CanonicalQuery Q;
+  Renaming R;
+  bool NilSeen = false;
+
+  // Pure atoms are symmetric, so orient each one name-independently:
+  // a side that already has an index goes first (smaller index first if
+  // both do); when both sides are fresh the written order stands —
+  // either way the resulting index pair is independent of how the atom
+  // happened to be spelled.
+  auto encodePure = [&](const std::vector<sl::PureAtom> &Atoms,
+                        std::vector<PureEnc> &Out) {
+    for (const sl::PureAtom &A : Atoms) {
+      // Drop trivially-true x = x conjuncts before renaming: a dropped
+      // atom must not assign indices to otherwise-unseen constants.
+      if (!A.Negated && A.Lhs == A.Rhs)
+        continue;
+      NilSeen |= A.Lhs->isNil() || A.Rhs->isNil();
+      uint32_t L = R.peek(A.Lhs), Rr = R.peek(A.Rhs);
+      const Term *First = A.Lhs, *Second = A.Rhs;
+      bool Swap = (L == ~0u && Rr != ~0u) || (L != ~0u && Rr != ~0u && Rr < L);
+      if (Swap)
+        std::swap(First, Second);
+      PureEnc Enc{R.index(First), R.index(Second), A.Negated};
+      // Drop duplicates; symmetric duplicates were normalized away by
+      // the orientation above. A duplicate's constants were already
+      // indexed by the first occurrence, so no index leaks here.
+      bool Dup = false;
+      for (const PureEnc &Seen : Out)
+        Dup |= Seen.Lhs == Enc.Lhs && Seen.Rhs == Enc.Rhs && Seen.Neg == Enc.Neg;
+      if (!Dup)
+        Out.push_back(Enc);
+    }
+  };
+
+  // Heap atoms are directed; keep the written operand order, and drop
+  // trivial lseg(x, x) atoms (they denote emp, so this is equivalence
+  // preserving on either side of the entailment).
+  auto encodeSpatial = [&](const sl::SpatialFormula &Atoms,
+                           std::vector<HeapEnc> &Out) {
+    for (const sl::HeapAtom &A : Atoms) {
+      if (A.isTrivialLseg())
+        continue;
+      NilSeen |= A.Addr->isNil() || A.Val->isNil();
+      Out.push_back({A.isLseg(), R.index(A.Addr), R.index(A.Val)});
+    }
+  };
+
+  // Spatial atoms first: they are directed, so they anchor the
+  // renaming unambiguously, which lets the symmetric pure atoms (whose
+  // operand order is then usually determined) orient themselves.
+  encodeSpatial(E.Lhs.Spatial, Q.LhsSpatial);
+  encodeSpatial(E.Rhs.Spatial, Q.RhsSpatial);
+  encodePure(E.Lhs.Pure, Q.LhsPure);
+  encodePure(E.Rhs.Pure, Q.RhsPure);
+  Q.NumConsts = R.numAssigned() - 1 + (NilSeen ? 1 : 0);
+
+  // Render the key: one character per atom kind plus the index pair.
+  std::string &K = Q.Key;
+  auto renderPure = [&K](const std::vector<PureEnc> &Atoms) {
+    for (const PureEnc &A : Atoms) {
+      K += A.Neg ? '!' : '=';
+      K += std::to_string(A.Lhs);
+      K += ',';
+      K += std::to_string(A.Rhs);
+      K += ';';
+    }
+  };
+  auto renderSpatial = [&K](const std::vector<HeapEnc> &Atoms) {
+    for (const HeapEnc &A : Atoms) {
+      K += A.Lseg ? 'l' : 'n';
+      K += std::to_string(A.Addr);
+      K += ',';
+      K += std::to_string(A.Val);
+      K += ';';
+    }
+  };
+  renderPure(Q.LhsPure);
+  K += '*';
+  renderSpatial(Q.LhsSpatial);
+  K += '|';
+  renderPure(Q.RhsPure);
+  K += '*';
+  renderSpatial(Q.RhsSpatial);
+  Q.Hash = hashString(K);
+  return Q;
+}
+
+sl::Entailment CanonicalQuery::rebuild(TermTable &Terms) const {
+  std::vector<const Term *> Consts;
+  auto constant = [&](uint32_t I) -> const Term * {
+    if (I >= Consts.size())
+      Consts.resize(I + 1, nullptr);
+    if (!Consts[I])
+      Consts[I] = I == 0 ? Terms.nil()
+                         : Terms.constant("v" + std::to_string(I));
+    return Consts[I];
+  };
+
+  sl::Entailment E;
+  auto decodePure = [&](const std::vector<PureEnc> &In,
+                        std::vector<sl::PureAtom> &Out) {
+    for (const PureEnc &A : In)
+      Out.push_back(A.Neg ? sl::PureAtom::ne(constant(A.Lhs), constant(A.Rhs))
+                          : sl::PureAtom::eq(constant(A.Lhs), constant(A.Rhs)));
+  };
+  auto decodeSpatial = [&](const std::vector<HeapEnc> &In,
+                           sl::SpatialFormula &Out) {
+    for (const HeapEnc &A : In)
+      Out.push_back(A.Lseg ? sl::HeapAtom::lseg(constant(A.Addr), constant(A.Val))
+                           : sl::HeapAtom::next(constant(A.Addr), constant(A.Val)));
+  };
+  decodePure(LhsPure, E.Lhs.Pure);
+  decodeSpatial(LhsSpatial, E.Lhs.Spatial);
+  decodePure(RhsPure, E.Rhs.Pure);
+  decodeSpatial(RhsSpatial, E.Rhs.Spatial);
+  return E;
+}

@@ -1,0 +1,78 @@
+//===- engine/ResultCache.cpp - Sharded verdict memo cache --------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ResultCache.h"
+
+#include <algorithm>
+
+using namespace slp;
+using namespace slp::engine;
+
+ResultCache::ResultCache(Options Opts) {
+  size_t NumShards = std::max<size_t>(1, Opts.NumShards);
+  MaxPerShard = std::max<size_t>(1, Opts.MaxEntries / NumShards);
+  Shards.reserve(NumShards);
+  for (size_t I = 0; I != NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+std::optional<core::Verdict> ResultCache::lookup(const CanonicalQuery &Q) {
+  Shard &S = shardFor(Q.hash());
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(Q.key());
+  if (It == S.Map.end()) {
+    ++S.Misses;
+    return std::nullopt;
+  }
+  ++S.Hits;
+  S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+  return It->second->second;
+}
+
+void ResultCache::insert(const CanonicalQuery &Q, core::Verdict V) {
+  Shard &S = shardFor(Q.hash());
+  std::lock_guard<std::mutex> Lock(S.M);
+  if (S.Map.count(Q.key()))
+    return; // Racing duplicate; identical by construction.
+  while (S.Lru.size() >= MaxPerShard) {
+    S.Map.erase(S.Lru.back().first);
+    S.Lru.pop_back();
+    ++S.Evictions;
+  }
+  S.Lru.emplace_front(Q.key(), V);
+  S.Map.emplace(S.Lru.front().first, S.Lru.begin());
+  ++S.Insertions;
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats Out;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    Out.Hits += S->Hits;
+    Out.Misses += S->Misses;
+    Out.Insertions += S->Insertions;
+    Out.Evictions += S->Evictions;
+    Out.Entries += S->Lru.size();
+  }
+  return Out;
+}
+
+size_t ResultCache::size() const {
+  size_t N = 0;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    N += S->Lru.size();
+  }
+  return N;
+}
+
+void ResultCache::clear() {
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->M);
+    S->Map.clear();
+    S->Lru.clear();
+  }
+}

@@ -1,0 +1,102 @@
+//===- engine/ResultCache.h - Sharded verdict memo cache --------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe, sharded, bounded LRU cache from canonical query keys
+/// to prover verdicts. Workers of the batch engine consult it before
+/// proving, so duplicate and alpha-equivalent queries in a corpus are
+/// answered without re-running the prover.
+///
+/// Sharding: the key's precomputed hash selects one of NumShards
+/// independent shards, each with its own mutex, map, and LRU list, so
+/// concurrent workers rarely contend on the same lock. Eviction is
+/// per-shard least-recently-used with a per-shard capacity derived
+/// from the total MaxEntries bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ENGINE_RESULTCACHE_H
+#define SLP_ENGINE_RESULTCACHE_H
+
+#include "core/Prover.h"
+#include "engine/CanonicalKey.h"
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace slp {
+namespace engine {
+
+/// Aggregated counters across all shards.
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+  size_t Entries = 0;
+
+  double hitRate() const {
+    uint64_t Lookups = Hits + Misses;
+    return Lookups ? static_cast<double>(Hits) / Lookups : 0.0;
+  }
+};
+
+/// Memoizes entailment verdicts keyed by CanonicalQuery::key().
+class ResultCache {
+public:
+  struct Options {
+    size_t NumShards = 16;         ///< Independent lock domains.
+    size_t MaxEntries = 1u << 20;  ///< Total capacity across shards.
+  };
+
+  ResultCache() : ResultCache(Options()) {}
+  explicit ResultCache(Options Opts);
+
+  /// Returns the memoized verdict for \p Q, refreshing its LRU slot;
+  /// nullopt on a miss. Thread safe.
+  std::optional<core::Verdict> lookup(const CanonicalQuery &Q);
+
+  /// Memoizes \p V for \p Q, evicting the shard's least recently used
+  /// entry when full. A racing duplicate insert is a no-op (first
+  /// writer wins; verdicts for one key are identical by construction).
+  /// Thread safe.
+  void insert(const CanonicalQuery &Q, core::Verdict V);
+
+  /// Snapshot of the aggregated counters. Thread safe.
+  CacheStats stats() const;
+
+  size_t size() const;
+  void clear();
+
+private:
+  struct Shard {
+    mutable std::mutex M;
+    /// Front = most recently used. Node addresses are stable, so the
+    /// map below can key on views into the stored strings.
+    std::list<std::pair<std::string, core::Verdict>> Lru;
+    std::unordered_map<std::string_view,
+                       std::list<std::pair<std::string, core::Verdict>>::iterator>
+        Map;
+    uint64_t Hits = 0, Misses = 0, Insertions = 0, Evictions = 0;
+  };
+
+  Shard &shardFor(uint64_t Hash) {
+    return *Shards[Hash % Shards.size()];
+  }
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  size_t MaxPerShard;
+};
+
+} // namespace engine
+} // namespace slp
+
+#endif // SLP_ENGINE_RESULTCACHE_H

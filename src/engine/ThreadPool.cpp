@@ -1,0 +1,62 @@
+//===- engine/ThreadPool.cpp - Fixed-size worker pool -------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ThreadPool.h"
+
+using namespace slp;
+using namespace slp::engine;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  unsigned N = resolveJobs(NumThreads);
+  Workers.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  TaskReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(M);
+    Tasks.push_back(std::move(Task));
+  }
+  TaskReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(M);
+  Idle.wait(Lock, [this] { return Tasks.empty() && Running == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      TaskReady.wait(Lock, [this] { return Stopping || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // Stopping and drained.
+      Task = std::move(Tasks.front());
+      Tasks.pop_front();
+      ++Running;
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      --Running;
+      if (Tasks.empty() && Running == 0)
+        Idle.notify_all();
+    }
+  }
+}

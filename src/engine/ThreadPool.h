@@ -1,0 +1,75 @@
+//===- engine/ThreadPool.h - Fixed-size worker pool -------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+/// The batch engine submits one long-lived worker task per job slot
+/// (each of which drains a WorkQueue), but the pool is general: any
+/// number of tasks can be submitted and wait() blocks until the queue
+/// is empty and every running task has finished.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ENGINE_THREADPOOL_H
+#define SLP_ENGINE_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slp {
+namespace engine {
+
+/// Fixed-size thread pool with a FIFO task queue.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers; 0 means hardware concurrency.
+  explicit ThreadPool(unsigned NumThreads = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task for execution on some worker.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void wait();
+
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Resolves a requested job count: 0 means hardware concurrency
+  /// (with a fallback of 1 when the runtime reports none).
+  static unsigned resolveJobs(unsigned Requested) {
+    if (Requested)
+      return Requested;
+    unsigned HW = std::thread::hardware_concurrency();
+    return HW ? HW : 1;
+  }
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::mutex M;
+  std::condition_variable TaskReady; ///< Signals workers: task or stop.
+  std::condition_variable Idle;      ///< Signals wait(): all drained.
+  std::deque<std::function<void()>> Tasks;
+  size_t Running = 0; ///< Tasks currently executing.
+  bool Stopping = false;
+};
+
+} // namespace engine
+} // namespace slp
+
+#endif // SLP_ENGINE_THREADPOOL_H

@@ -1,0 +1,57 @@
+//===- engine/WorkQueue.h - Lock-free index distributor ---------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Distributes the indices [0, size) of a fixed corpus to a set of
+/// concurrent workers: each pop() hands out the next unclaimed index
+/// exactly once. A single atomic fetch-add, so there is no lock to
+/// contend on and the queue itself never becomes the bottleneck.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ENGINE_WORKQUEUE_H
+#define SLP_ENGINE_WORKQUEUE_H
+
+#include <atomic>
+#include <cstddef>
+
+namespace slp {
+namespace engine {
+
+/// Hands out [0, size) across threads, each index exactly once.
+class WorkQueue {
+public:
+  explicit WorkQueue(size_t Size) : Size(Size) {}
+
+  WorkQueue(const WorkQueue &) = delete;
+  WorkQueue &operator=(const WorkQueue &) = delete;
+
+  /// Claims the next index into \p Index; false once drained.
+  bool pop(size_t &Index) {
+    size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= Size)
+      return false;
+    Index = I;
+    return true;
+  }
+
+  size_t size() const { return Size; }
+
+  /// Indices not yet handed out (racy snapshot; for progress display).
+  size_t remaining() const {
+    size_t N = Next.load(std::memory_order_relaxed);
+    return N >= Size ? 0 : Size - N;
+  }
+
+private:
+  std::atomic<size_t> Next{0};
+  const size_t Size;
+};
+
+} // namespace engine
+} // namespace slp
+
+#endif // SLP_ENGINE_WORKQUEUE_H

@@ -55,6 +55,7 @@ private:
 std::optional<CounterModel>
 sl::searchCounterexample(const TermTable &Terms, const Entailment &E,
                          unsigned ExtraLocations) {
+  (void)Terms; // Part of the API for symmetry with the other oracles.
   // Gather the non-nil program variables of the entailment.
   std::vector<const Term *> Vars;
   E.collectTerms(Vars);

@@ -54,6 +54,7 @@ bool clauseHolds(const Clause &C, const std::vector<const Term *> &Consts,
 bool sup::entailsGround(const TermTable &Terms,
                         const std::vector<const Clause *> &Premises,
                         const Clause &Conclusion) {
+  (void)Terms; // Kept for API symmetry with the other checkers.
   std::vector<const Term *> Consts;
   for (const Clause *P : Premises)
     collectConstants(*P, Consts);

@@ -84,8 +84,9 @@ TEST_P(ProverPropertyTest, CountermodelsAreSemanticallyChecked) {
   }
   // Distribution 2 is calibrated so invalid instances occur reliably;
   // distribution 1 with many disequalities can be all-valid.
-  if (GetParam().Dist == 2)
+  if (GetParam().Dist == 2) {
     EXPECT_GT(Invalids, 0u);
+  }
 }
 
 TEST_P(ProverPropertyTest, Deterministic) {

@@ -1,0 +1,204 @@
+//===- tests/engine/ResultCacheTest.cpp -----------------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The memoizing entailment cache: canonical key construction
+/// (alpha-invariance, symmetric-atom orientation, normalizations),
+/// hit/miss accounting, LRU eviction, and concurrent access.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/CanonicalKey.h"
+#include "engine/ResultCache.h"
+#include "sl/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace slp;
+using namespace slp::engine;
+
+namespace {
+
+class ResultCacheTest : public ::testing::Test {
+protected:
+  SymbolTable Symbols;
+  TermTable Terms{Symbols};
+
+  CanonicalQuery canon(const char *Input) {
+    sl::ParseResult P = sl::parseEntailment(Terms, Input);
+    EXPECT_TRUE(P.ok()) << Input;
+    return CanonicalQuery::of(*P.Value);
+  }
+};
+
+} // namespace
+
+TEST_F(ResultCacheTest, KeyIsStable) {
+  EXPECT_EQ(canon("x != y & lseg(x, y) |- lseg(x, y)").key(),
+            canon("x != y & lseg(x, y) |- lseg(x, y)").key());
+}
+
+TEST_F(ResultCacheTest, KeyIsAlphaInvariant) {
+  CanonicalQuery A = canon("x != y & lseg(x, y) * next(y, z) |- lseg(x, z)");
+  CanonicalQuery B = canon("a != b & lseg(a, b) * next(b, c) |- lseg(a, c)");
+  EXPECT_EQ(A.key(), B.key());
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+TEST_F(ResultCacheTest, NilIsNotRenamed) {
+  // nil has fixed semantics; a query about nil is not alpha-equivalent
+  // to the same shape over an ordinary variable.
+  EXPECT_NE(canon("next(x, nil) |- lseg(x, nil)").key(),
+            canon("next(x, y) |- lseg(x, y)").key());
+}
+
+TEST_F(ResultCacheTest, SymmetricPureAtomsAreOriented) {
+  EXPECT_EQ(canon("x != y & lseg(x, y) |- lseg(x, y)").key(),
+            canon("y != x & lseg(x, y) |- lseg(x, y)").key());
+  EXPECT_EQ(canon("x = nil |- lseg(x, nil)").key(),
+            canon("nil = x |- lseg(x, nil)").key());
+}
+
+TEST_F(ResultCacheTest, NormalizationsApply) {
+  // Duplicate pure conjuncts and trivial lseg(x, x) atoms vanish.
+  EXPECT_EQ(canon("x != y & x != y & lseg(x, y) |- lseg(x, y)").key(),
+            canon("x != y & lseg(x, y) |- lseg(x, y)").key());
+  EXPECT_EQ(canon("lseg(x, x) * next(y, z) |- next(y, z)").key(),
+            canon("next(y, z) |- next(y, z)").key());
+  EXPECT_EQ(canon("x = x & next(y, z) |- next(y, z)").key(),
+            canon("next(y, z) |- next(y, z)").key());
+}
+
+TEST_F(ResultCacheTest, DistinctStructuresGetDistinctKeys) {
+  EXPECT_NE(canon("next(x, y) |- lseg(x, y)").key(),
+            canon("lseg(x, y) |- lseg(x, y)").key());
+  EXPECT_NE(canon("next(x, y) |- lseg(x, y)").key(),
+            canon("next(x, y) |- next(x, y)").key());
+  EXPECT_NE(canon("x = y |- x = y").key(), canon("x != y |- x != y").key());
+}
+
+TEST_F(ResultCacheTest, RebuildRoundTripsToSameKey) {
+  const char *Inputs[] = {
+      "x != y & lseg(x, y) * next(y, z) |- lseg(x, z)",
+      "nil = nil |- x = y",
+      "b != a & next(a, b) * lseg(b, nil) |- lseg(a, nil)",
+  };
+  for (const char *In : Inputs) {
+    CanonicalQuery Q = canon(In);
+    SymbolTable S2;
+    TermTable T2(S2);
+    sl::Entailment Rebuilt = Q.rebuild(T2);
+    EXPECT_EQ(CanonicalQuery::of(Rebuilt).key(), Q.key()) << In;
+  }
+}
+
+TEST_F(ResultCacheTest, HitAndMissAccounting) {
+  ResultCache Cache;
+  CanonicalQuery Q = canon("x != y & lseg(x, y) |- lseg(x, y)");
+  EXPECT_FALSE(Cache.lookup(Q).has_value());
+  Cache.insert(Q, core::Verdict::Valid);
+  std::optional<core::Verdict> Hit = Cache.lookup(Q);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(*Hit, core::Verdict::Valid);
+
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Insertions, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_DOUBLE_EQ(S.hitRate(), 0.5);
+}
+
+TEST_F(ResultCacheTest, AlphaEquivalentQueriesCollide) {
+  ResultCache Cache;
+  Cache.insert(canon("x != y & lseg(x, y) * next(y, z) |- lseg(x, z)"),
+               core::Verdict::Valid);
+  std::optional<core::Verdict> Hit =
+      Cache.lookup(canon("p != q & lseg(p, q) * next(q, r) |- lseg(p, r)"));
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(*Hit, core::Verdict::Valid);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST_F(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache::Options Opts;
+  Opts.NumShards = 1; // Single shard so capacity is exact.
+  Opts.MaxEntries = 3;
+  ResultCache Cache(Opts);
+
+  std::vector<CanonicalQuery> Queries;
+  for (int I = 0; I != 5; ++I) {
+    std::string Q = "next(x, y) |- ";
+    for (int J = 0; J != I + 1; ++J)
+      Q += (J ? " * next(x, y)" : "next(x, y)");
+    Queries.push_back(canon(Q.c_str()));
+  }
+
+  Cache.insert(Queries[0], core::Verdict::Valid);
+  Cache.insert(Queries[1], core::Verdict::Invalid);
+  Cache.insert(Queries[2], core::Verdict::Valid);
+  EXPECT_EQ(Cache.size(), 3u);
+
+  // Touch query 0 so query 1 becomes the LRU entry, then overflow.
+  EXPECT_TRUE(Cache.lookup(Queries[0]).has_value());
+  Cache.insert(Queries[3], core::Verdict::Invalid);
+  EXPECT_EQ(Cache.size(), 3u);
+  EXPECT_TRUE(Cache.lookup(Queries[0]).has_value());
+  EXPECT_FALSE(Cache.lookup(Queries[1]).has_value()) << "LRU not evicted";
+  Cache.insert(Queries[4], core::Verdict::Valid);
+  EXPECT_EQ(Cache.size(), 3u);
+  EXPECT_GE(Cache.stats().Evictions, 2u);
+}
+
+TEST_F(ResultCacheTest, DuplicateInsertIsNoOp) {
+  ResultCache Cache;
+  CanonicalQuery Q = canon("next(x, y) |- lseg(x, y)");
+  Cache.insert(Q, core::Verdict::Valid);
+  Cache.insert(Q, core::Verdict::Valid);
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Cache.stats().Insertions, 1u);
+}
+
+TEST_F(ResultCacheTest, ClearEmptiesAllShards) {
+  ResultCache Cache;
+  Cache.insert(canon("next(x, y) |- lseg(x, y)"), core::Verdict::Valid);
+  Cache.insert(canon("lseg(x, y) |- lseg(x, y)"), core::Verdict::Valid);
+  EXPECT_EQ(Cache.size(), 2u);
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+}
+
+TEST_F(ResultCacheTest, ConcurrentMixedAccessIsSafe) {
+  ResultCache Cache;
+  // Pre-build distinct canonical queries on the main thread (the
+  // shared TermTable is not thread safe; the cache is the subject).
+  std::vector<CanonicalQuery> Queries;
+  for (int I = 0; I != 16; ++I) {
+    std::string Q = "x != y |- ";
+    for (int J = 0; J != I + 1; ++J)
+      Q += (J ? " * next(x, y)" : "next(x, y)");
+    Queries.push_back(canon(Q.c_str()));
+  }
+
+  std::vector<std::thread> Threads;
+  for (int T = 0; T != 4; ++T)
+    Threads.emplace_back([&Cache, &Queries, T] {
+      for (int Round = 0; Round != 200; ++Round) {
+        const CanonicalQuery &Q = Queries[(T * 7 + Round) % Queries.size()];
+        if (!Cache.lookup(Q))
+          Cache.insert(Q, core::Verdict::Valid);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Entries, Queries.size());
+  EXPECT_EQ(S.Hits + S.Misses, 4u * 200u);
+  for (const CanonicalQuery &Q : Queries)
+    EXPECT_TRUE(Cache.lookup(Q).has_value());
+}

@@ -51,9 +51,11 @@ protected:
       EXPECT_TRUE(Found) << "edge must come from its generating clause";
       for (const Equation &E : Gen.neg())
         EXPECT_TRUE(R.equivalent(E.lhs(), E.rhs()));
-      for (const Equation &E : Gen.pos())
-        if (E != Edge)
+      for (const Equation &E : Gen.pos()) {
+        if (E != Edge) {
           EXPECT_FALSE(R.equivalent(E.lhs(), E.rhs()));
+        }
+      }
     }
   }
 };

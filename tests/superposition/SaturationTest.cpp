@@ -200,9 +200,11 @@ TEST_F(SaturationTest, ModelGuidedCertifiedModelsEdgeResiduals) {
   for (const RewriteRule &Rule : Model->rules()) {
     const Clause &Gen = Sat.entry(Rule.GeneratingClause).C;
     Equation Edge(Rule.Lhs, Rule.Rhs);
-    for (const Equation &E : Gen.pos())
-      if (E != Edge)
+    for (const Equation &E : Gen.pos()) {
+      if (E != Edge) {
         EXPECT_FALSE(Model->equivalent(E.lhs(), E.rhs()));
+      }
+    }
     for (const Equation &E : Gen.neg())
       EXPECT_TRUE(Model->equivalent(E.lhs(), E.rhs()));
   }

@@ -58,8 +58,9 @@ TEST_P(CorpusTest, ProgramVerifies) {
     if (Vars.size() <= 7) {
       Fuel F(2'000'000);
       baselines::BaselineVerdict BV = Baseline.prove(V.E, F);
-      if (BV != baselines::BaselineVerdict::Unknown)
+      if (BV != baselines::BaselineVerdict::Unknown) {
         EXPECT_EQ(BV, baselines::BaselineVerdict::Valid) << V.Name;
+      }
     }
   }
 }

@@ -101,8 +101,9 @@ TEST_F(OrderingTest, TransitivityOnRandomTerms) {
     const Term *A = randomTerm(Rng, 3);
     const Term *B = randomTerm(Rng, 3);
     const Term *C = randomTerm(Rng, 3);
-    if (Ord.greater(A, B) && Ord.greater(B, C))
+    if (Ord.greater(A, B) && Ord.greater(B, C)) {
       EXPECT_TRUE(Ord.greater(A, C));
+    }
   }
 }
 
@@ -169,8 +170,9 @@ TEST_F(OrderingTest, LpoTransitivityOnRandomTerms) {
     const Term *A = randomTerm(Rng, 3);
     const Term *B = randomTerm(Rng, 3);
     const Term *C = randomTerm(Rng, 3);
-    if (L.greater(A, B) && L.greater(B, C))
+    if (L.greater(A, B) && L.greater(B, C)) {
       EXPECT_TRUE(L.greater(A, C));
+    }
   }
 }
 

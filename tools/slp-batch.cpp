@@ -1,0 +1,148 @@
+//===- tools/slp-batch.cpp - Concurrent batch entailment checker --------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `slp-batch` command line tool: proves a corpus of entailments
+/// (one per line) through the concurrent batch engine.
+///
+///   slp-batch [options] [file]
+///     --jobs=N        worker threads (default 1; 0 = all cores)
+///     --cache=on|off  memoizing entailment cache (default on)
+///     --fuel=N        inference step budget per query (default unlimited)
+///     --stats         print batch statistics to stderr
+///
+/// Verdicts go to stdout in input order, one `[i] query / verdict`
+/// block per query — byte-identical for any --jobs value. Statistics
+/// go to stderr so stdout stays comparable across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/BatchProver.h"
+#include "engine/ThreadPool.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace slp;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: slp-batch [--jobs=N] [--cache=on|off] [--fuel=N] "
+               "[--stats] [file]\n";
+  return 2;
+}
+
+/// Parses the digits of `--opt=N`; false on empty, non-numeric, or
+/// out-of-range text.
+bool parseUnsigned(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(Text.c_str(), &End, 10);
+  return *End == '\0' && errno != ERANGE;
+}
+
+/// Largest worker count the tools accept; far above any real machine,
+/// but keeps a typo from asking the OS for billions of threads.
+constexpr uint64_t MaxJobs = 4096;
+
+} // namespace
+
+int main(int argc, char **argv) {
+  engine::BatchOptions Opts;
+  bool Stats = false;
+  std::string File;
+  bool HaveFile = false;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    uint64_t N = 0;
+    if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(7), N) || N > MaxJobs) {
+        std::cerr << "slp-batch: bad value in '" << Arg << "' (0-"
+                  << MaxJobs << ")\n";
+        return usage();
+      }
+      Opts.Jobs = static_cast<unsigned>(N);
+    } else if (Arg == "--cache=on") {
+      Opts.CacheEnabled = true;
+    } else if (Arg == "--cache=off") {
+      Opts.CacheEnabled = false;
+    } else if (Arg.rfind("--fuel=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(7), N))
+        return usage();
+      Opts.FuelPerQuery = N;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "slp-batch: unknown option '" << Arg << "'\n";
+      return usage();
+    } else if (HaveFile) {
+      std::cerr << "slp-batch: more than one input file\n";
+      return usage();
+    } else {
+      File = Arg;
+      HaveFile = true;
+    }
+  }
+
+  std::string Input;
+  if (!HaveFile) {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Input = SS.str();
+  } else {
+    std::ifstream In(File);
+    if (!In) {
+      std::cerr << "error: cannot open " << File << "\n";
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Input = SS.str();
+  }
+
+  std::vector<std::string> Queries = engine::BatchProver::splitCorpus(Input);
+  engine::BatchProver Engine(Opts);
+  std::vector<engine::QueryResult> Results = Engine.run(Queries);
+
+  int Exit = 0;
+  for (size_t I = 0; I != Results.size(); ++I) {
+    std::cout << "[" << (I + 1) << "] " << Queries[I] << "\n    "
+              << Results[I].verdictText();
+    if (Results[I].Status == engine::QueryStatus::ParseError) {
+      std::cout << ": " << Results[I].Error;
+      Exit = 1;
+    }
+    std::cout << "\n";
+  }
+
+  if (Stats) {
+    const engine::BatchStats &S = Engine.stats();
+    engine::CacheStats C = Engine.cache().stats();
+    std::fprintf(stderr,
+                 "batch: %zu queries in %.3fs (%.1f q/s, jobs=%u)\n"
+                 "verdicts: %zu valid, %zu invalid, %zu unknown, "
+                 "%zu parse errors\n"
+                 "cache: %s, hit rate %.1f%% (%llu hits, %llu misses, "
+                 "%zu entries, %llu evictions)\n",
+                 S.Queries, S.Seconds, S.throughput(),
+                 engine::ThreadPool::resolveJobs(Opts.Jobs), S.Valid,
+                 S.Invalid, S.Unknown, S.ParseErrors,
+                 Opts.CacheEnabled ? "on" : "off", 100.0 * S.hitRate(),
+                 static_cast<unsigned long long>(S.CacheHits),
+                 static_cast<unsigned long long>(S.CacheMisses), C.Entries,
+                 static_cast<unsigned long long>(C.Evictions));
+  }
+  return Exit;
+}

@@ -17,6 +17,8 @@
 ///     --stats       print per-query statistics
 ///     --prover=P    slp (default) | berdine | greedy
 ///     --fuel=N      inference step budget per query (default unlimited)
+///     --jobs=N      prove queries concurrently through the batch
+///                   engine (verdicts only; 0 = all cores)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,10 +27,13 @@
 #include "core/Dot.h"
 #include "core/ProofTree.h"
 #include "core/Prover.h"
+#include "engine/BatchProver.h"
 #include "sl/Parser.h"
 #include "superposition/ProofCheck.h"
 #include "support/Timer.h"
 
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -46,23 +51,43 @@ struct CliOptions {
   bool DotModel = false;
   bool Stats = false;
   std::string Prover = "slp";
-  uint64_t FuelSteps = 0; // 0 = unlimited.
-  std::string File;       // Empty = stdin.
+  uint64_t FuelSteps = 0;  // 0 = unlimited.
+  unsigned Jobs = 1;       // > 1 or 0 routes through the batch engine.
+  bool JobsGiven = false;
+  std::string File; // Empty = stdin.
 };
 
 int usage() {
   std::cerr << "usage: slp [--proof] [--model] [--check-proof] "
                "[--dot-proof] [--dot-model] [--stats] "
-               "[--prover=slp|berdine|greedy] [--fuel=N] [file]\n";
+               "[--prover=slp|berdine|greedy] [--fuel=N] [--jobs=N] "
+               "[file]\n";
   return 2;
 }
+
+/// Parses the digits of `--opt=N`; false on empty, non-numeric, or
+/// out-of-range text.
+bool parseUnsigned(const std::string &Text, uint64_t &Out) {
+  if (Text.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(Text.c_str(), &End, 10);
+  return *End == '\0' && errno != ERANGE;
+}
+
+/// Largest worker count the tools accept; far above any real machine,
+/// but keeps a typo from asking the OS for billions of threads.
+constexpr uint64_t MaxJobs = 4096;
 
 } // namespace
 
 int main(int argc, char **argv) {
   CliOptions Opts;
+  bool HaveFile = false;
   for (int I = 1; I != argc; ++I) {
     std::string Arg = argv[I];
+    uint64_t N = 0;
     if (Arg == "--proof")
       Opts.Proof = true;
     else if (Arg == "--model")
@@ -77,16 +102,45 @@ int main(int argc, char **argv) {
       Opts.Stats = true;
     else if (Arg.rfind("--prover=", 0) == 0)
       Opts.Prover = Arg.substr(9);
-    else if (Arg.rfind("--fuel=", 0) == 0)
-      Opts.FuelSteps = std::stoull(Arg.substr(7));
-    else if (!Arg.empty() && Arg[0] == '-')
+    else if (Arg.rfind("--fuel=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(7), N)) {
+        std::cerr << "slp: bad value in '" << Arg << "'\n";
+        return usage();
+      }
+      Opts.FuelSteps = N;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(7), N) || N > MaxJobs) {
+        std::cerr << "slp: bad value in '" << Arg << "' (0-" << MaxJobs
+                  << ")\n";
+        return usage();
+      }
+      Opts.Jobs = static_cast<unsigned>(N);
+      Opts.JobsGiven = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "slp: unknown option '" << Arg << "'\n";
       return usage();
-    else
+    } else if (HaveFile) {
+      std::cerr << "slp: more than one input file\n";
+      return usage();
+    } else {
       Opts.File = Arg;
+      HaveFile = true;
+    }
   }
   if (Opts.Prover != "slp" && Opts.Prover != "berdine" &&
-      Opts.Prover != "greedy")
+      Opts.Prover != "greedy") {
+    std::cerr << "slp: unknown prover '" << Opts.Prover << "'\n";
     return usage();
+  }
+  bool UseEngine = Opts.JobsGiven && Opts.Jobs != 1;
+  if (UseEngine &&
+      (Opts.Proof || Opts.Model || Opts.CheckProof || Opts.DotProof ||
+       Opts.DotModel || Opts.Stats || Opts.Prover != "slp")) {
+    std::cerr << "slp: --jobs supports plain verdict output only "
+                 "(no --proof/--model/--check-proof/--dot-*/--stats, "
+                 "prover must be slp)\n";
+    return usage();
+  }
 
   std::string Input;
   if (Opts.File.empty()) {
@@ -111,6 +165,27 @@ int main(int argc, char **argv) {
     std::cerr << (Opts.File.empty() ? "<stdin>" : Opts.File) << ":"
               << Parsed.Error->render() << "\n";
     return 1;
+  }
+
+  if (UseEngine) {
+    engine::BatchOptions EngineOpts;
+    EngineOpts.Jobs = Opts.Jobs;
+    EngineOpts.FuelPerQuery = Opts.FuelSteps;
+    engine::BatchProver Engine(EngineOpts);
+    std::vector<std::string> Queries =
+        engine::BatchProver::splitCorpus(Input);
+    std::vector<engine::QueryResult> Results = Engine.run(Queries);
+    for (size_t I = 0; I != Results.size(); ++I) {
+      // Echo each query rendered from its own line (not by index into
+      // Parsed.Entailments, whose line-skipping could drift from
+      // splitCorpus); fall back to the raw text if the line alone
+      // does not parse.
+      sl::ParseResult Line = sl::parseEntailment(Terms, Queries[I]);
+      std::cout << "[" << (I + 1) << "] "
+                << (Line.ok() ? sl::str(Terms, *Line.Value) : Queries[I])
+                << "\n    " << Results[I].verdictText() << "\n";
+    }
+    return 0;
   }
 
   core::SlpProver Slp(Terms);
