@@ -42,6 +42,11 @@ struct BatchResult {
   unsigned Solved = 0;    ///< Instances decided within the fuel budget.
   unsigned Valid = 0;     ///< Instances reported valid.
   unsigned Total = 0;
+  /// Saturation subsumption counters (SLP runs only): clauses deleted
+  /// forward/backward, candidate pair tests performed, and the tests a
+  /// full clause-database scan would have needed for the same queries.
+  uint64_t SubsumedFwd = 0, SubsumedBwd = 0;
+  uint64_t SubChecks = 0, SubScanBaseline = 0;
 };
 
 /// Renders "12.34" or "12.34 (57%)" when some instances timed out,
@@ -97,6 +102,10 @@ inline BatchResult runSlp(TermTable &Terms,
       ++R.Valid;
   }
   R.Seconds = T.seconds();
+  R.SubsumedFwd = Engine.stats().SubsumedFwd;
+  R.SubsumedBwd = Engine.stats().SubsumedBwd;
+  R.SubChecks = Engine.stats().SubChecks;
+  R.SubScanBaseline = Engine.stats().SubScanBaseline;
   if (Engine.stats().ParseErrors)
     std::fprintf(stderr,
                  "warning: %zu of %zu rendered entailments failed to "

@@ -71,10 +71,11 @@ int main() {
     sup::SaturationOptions Sat;
   };
   const Config Configs[] = {
-      {"full (subsumption + demodulation)", {true, true}},
-      {"no demodulation", {true, false}},
-      {"no subsumption", {false, true}},
-      {"bare calculus", {false, false}},
+      {"full (indexed subsumption + demod)", {true, true, true}},
+      {"linear-scan subsumption", {true, true, false}},
+      {"no demodulation", {true, false, true}},
+      {"no subsumption", {false, true, true}},
+      {"bare calculus", {false, false, true}},
   };
   for (const Config &C : Configs) {
     BatchResult R = runSlpWith(Terms, Batch, C.Sat, FuelBudget);

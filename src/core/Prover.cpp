@@ -71,6 +71,11 @@ ProveResult SlpProver::prove(const sl::Entailment &E, Fuel &F) {
     Result.Cex = std::move(Cex);
     Result.Stats.PureClauses = Sat->numClauses();
     Result.Stats.FuelUsed = F.used();
+    const sup::SaturationStats &SS = Sat->stats();
+    Result.Stats.SubsumedFwd = SS.SubsumedFwd;
+    Result.Stats.SubsumedBwd = SS.SubsumedBwd;
+    Result.Stats.SubChecks = SS.SubChecks;
+    Result.Stats.SubScanBaseline = SS.SubScanBaseline;
     return Result;
   };
 

@@ -53,6 +53,10 @@ struct ProveStats {
   unsigned InnerIterations = 0; ///< Saturate/normalize/W rounds.
   uint64_t PureClauses = 0;     ///< Clauses in the final database.
   uint64_t FuelUsed = 0;        ///< Elementary inference steps.
+  uint64_t SubsumedFwd = 0;     ///< Clauses dropped by forward subsumption.
+  uint64_t SubsumedBwd = 0;     ///< Clauses deleted by backward subsumption.
+  uint64_t SubChecks = 0;       ///< Subsumption pair tests performed.
+  uint64_t SubScanBaseline = 0; ///< Tests a full-DB linear scan needs.
 };
 
 /// Everything prove() reports.

@@ -51,6 +51,10 @@ QueryResult BatchProver::proveOne(const std::string &Query) {
   core::ProveResult R = Prover.prove(E, F);
   Out.V = R.V;
   Out.FuelUsed = R.Stats.FuelUsed;
+  Out.SubsumedFwd = R.Stats.SubsumedFwd;
+  Out.SubsumedBwd = R.Stats.SubsumedBwd;
+  Out.SubChecks = R.Stats.SubChecks;
+  Out.SubScanBaseline = R.Stats.SubScanBaseline;
   if (Opts.CacheEnabled)
     Cache.insert(Q, R.V);
   return Out;
@@ -89,6 +93,10 @@ BatchProver::run(const std::vector<std::string> &Queries) {
       ++Stats.CacheHits;
     else if (Opts.CacheEnabled)
       ++Stats.CacheMisses;
+    Stats.SubsumedFwd += R.SubsumedFwd;
+    Stats.SubsumedBwd += R.SubsumedBwd;
+    Stats.SubChecks += R.SubChecks;
+    Stats.SubScanBaseline += R.SubScanBaseline;
     switch (R.V) {
     case core::Verdict::Valid:
       ++Stats.Valid;
@@ -104,15 +112,19 @@ BatchProver::run(const std::vector<std::string> &Queries) {
   return Results;
 }
 
-std::vector<std::string> BatchProver::splitCorpus(std::string_view Text) {
+std::vector<std::string>
+BatchProver::splitCorpus(std::string_view Text,
+                         std::vector<unsigned> *LineNos) {
   std::vector<std::string> Lines;
   size_t Pos = 0;
+  unsigned LineNo = 0;
   while (Pos <= Text.size()) {
     size_t End = Text.find('\n', Pos);
     if (End == std::string_view::npos)
       End = Text.size();
     std::string_view Line = Text.substr(Pos, End - Pos);
     Pos = End + 1;
+    ++LineNo;
     size_t NonWs = Line.find_first_not_of(" \t\r");
     if (NonWs == std::string_view::npos)
       continue;
@@ -120,6 +132,8 @@ std::vector<std::string> BatchProver::splitCorpus(std::string_view Text) {
     if (Body[0] == '#' || Body.rfind("//", 0) == 0)
       continue;
     Lines.emplace_back(Line);
+    if (LineNos)
+      LineNos->push_back(LineNo);
     if (End == Text.size())
       break;
   }

@@ -52,6 +52,9 @@ struct QueryResult {
   core::Verdict V = core::Verdict::Unknown;
   bool FromCache = false;
   uint64_t FuelUsed = 0; ///< 0 for cache hits and parse errors.
+  /// Saturation subsumption counters (0 for cache hits/parse errors).
+  uint64_t SubsumedFwd = 0, SubsumedBwd = 0;
+  uint64_t SubChecks = 0, SubScanBaseline = 0;
   std::string Error;     ///< Parse diagnostic when Status == ParseError.
 
   /// Stable one-word rendering used by the tools' output.
@@ -67,6 +70,12 @@ struct BatchStats {
   size_t Queries = 0;
   size_t Valid = 0, Invalid = 0, Unknown = 0, ParseErrors = 0;
   uint64_t CacheHits = 0, CacheMisses = 0;
+  /// Aggregated saturation subsumption counters over all proved
+  /// (non-cached) queries: clauses deleted forward/backward, pair
+  /// tests performed, and the tests a full clause-database scan would
+  /// have performed (SubChecks / SubScanBaseline = index pruning).
+  uint64_t SubsumedFwd = 0, SubsumedBwd = 0;
+  uint64_t SubChecks = 0, SubScanBaseline = 0;
 
   double throughput() const { return Seconds > 0 ? Queries / Seconds : 0; }
   double hitRate() const {
@@ -93,8 +102,11 @@ public:
   const BatchOptions &options() const { return Opts; }
 
   /// Splits corpus text into query lines, dropping blanks and
-  /// comment-only lines (`#` or `//`).
-  static std::vector<std::string> splitCorpus(std::string_view Text);
+  /// comment-only lines (`#` or `//`). When \p LineNos is non-null it
+  /// receives the 1-based source line of each returned query, so
+  /// callers can report diagnostics against the original file.
+  static std::vector<std::string>
+  splitCorpus(std::string_view Text, std::vector<unsigned> *LineNos = nullptr);
 
 private:
   QueryResult proveOne(const std::string &Query);

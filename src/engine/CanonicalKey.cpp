@@ -49,7 +49,6 @@ private:
 CanonicalQuery CanonicalQuery::of(const sl::Entailment &E) {
   CanonicalQuery Q;
   Renaming R;
-  bool NilSeen = false;
 
   // Pure atoms are symmetric, so orient each one name-independently:
   // a side that already has an index goes first (smaller index first if
@@ -63,7 +62,6 @@ CanonicalQuery CanonicalQuery::of(const sl::Entailment &E) {
       // atom must not assign indices to otherwise-unseen constants.
       if (!A.Negated && A.Lhs == A.Rhs)
         continue;
-      NilSeen |= A.Lhs->isNil() || A.Rhs->isNil();
       uint32_t L = R.peek(A.Lhs), Rr = R.peek(A.Rhs);
       const Term *First = A.Lhs, *Second = A.Rhs;
       bool Swap = (L == ~0u && Rr != ~0u) || (L != ~0u && Rr != ~0u && Rr < L);
@@ -89,7 +87,6 @@ CanonicalQuery CanonicalQuery::of(const sl::Entailment &E) {
     for (const sl::HeapAtom &A : Atoms) {
       if (A.isTrivialLseg())
         continue;
-      NilSeen |= A.Addr->isNil() || A.Val->isNil();
       Out.push_back({A.isLseg(), R.index(A.Addr), R.index(A.Val)});
     }
   };
@@ -101,7 +98,6 @@ CanonicalQuery CanonicalQuery::of(const sl::Entailment &E) {
   encodeSpatial(E.Rhs.Spatial, Q.RhsSpatial);
   encodePure(E.Lhs.Pure, Q.LhsPure);
   encodePure(E.Rhs.Pure, Q.RhsPure);
-  Q.NumConsts = R.numAssigned() - 1 + (NilSeen ? 1 : 0);
 
   // Render the key: one character per atom kind plus the index pair.
   std::string &K = Q.Key;

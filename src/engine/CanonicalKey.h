@@ -53,9 +53,6 @@ public:
   /// 64-bit hash of key(), precomputed; used for cache sharding.
   uint64_t hash() const { return Hash; }
 
-  /// Number of distinct constants, counting nil iff it occurs.
-  unsigned numConstants() const { return NumConsts; }
-
   /// Re-materializes the canonical entailment: constant index 0 is
   /// nil, index i > 0 becomes the interned constant "v<i>".
   sl::Entailment rebuild(TermTable &Terms) const;
@@ -72,7 +69,6 @@ private:
 
   std::vector<PureEnc> LhsPure, RhsPure;
   std::vector<HeapEnc> LhsSpatial, RhsSpatial;
-  uint32_t NumConsts = 0;
   std::string Key;
   uint64_t Hash = 0;
 };

@@ -13,10 +13,18 @@ using namespace slp::engine;
 
 ResultCache::ResultCache(Options Opts) {
   size_t NumShards = std::max<size_t>(1, Opts.NumShards);
-  MaxPerShard = std::max<size_t>(1, Opts.MaxEntries / NumShards);
+  // Distribute the requested bound across shards, spreading the
+  // remainder over the first MaxEntries % NumShards shards so the
+  // total capacity is exactly max(MaxEntries, NumShards) — every
+  // shard needs at least one slot for the LRU list to make sense.
+  size_t Total = std::max(Opts.MaxEntries, NumShards);
+  size_t Base = Total / NumShards;
+  size_t Remainder = Total % NumShards;
   Shards.reserve(NumShards);
-  for (size_t I = 0; I != NumShards; ++I)
+  for (size_t I = 0; I != NumShards; ++I) {
     Shards.push_back(std::make_unique<Shard>());
+    Shards.back()->Cap = Base + (I < Remainder ? 1 : 0);
+  }
 }
 
 std::optional<core::Verdict> ResultCache::lookup(const CanonicalQuery &Q) {
@@ -37,7 +45,7 @@ void ResultCache::insert(const CanonicalQuery &Q, core::Verdict V) {
   std::lock_guard<std::mutex> Lock(S.M);
   if (S.Map.count(Q.key()))
     return; // Racing duplicate; identical by construction.
-  while (S.Lru.size() >= MaxPerShard) {
+  while (S.Lru.size() >= S.Cap) {
     S.Map.erase(S.Lru.back().first);
     S.Lru.pop_back();
     ++S.Evictions;
@@ -66,6 +74,13 @@ size_t ResultCache::size() const {
     std::lock_guard<std::mutex> Lock(S->M);
     N += S->Lru.size();
   }
+  return N;
+}
+
+size_t ResultCache::capacity() const {
+  size_t N = 0;
+  for (const std::unique_ptr<Shard> &S : Shards)
+    N += S->Cap;
   return N;
 }
 

@@ -74,6 +74,13 @@ public:
   CacheStats stats() const;
 
   size_t size() const;
+
+  /// Total entry bound across all shards: exactly
+  /// max(Options::MaxEntries, NumShards) — the requested bound, with
+  /// the division remainder spread over the first shards, and a floor
+  /// of one slot per shard.
+  size_t capacity() const;
+
   void clear();
 
 private:
@@ -86,6 +93,8 @@ private:
                        std::list<std::pair<std::string, core::Verdict>>::iterator>
         Map;
     uint64_t Hits = 0, Misses = 0, Insertions = 0, Evictions = 0;
+    /// This shard's entry bound (immutable after construction).
+    size_t Cap = 1;
   };
 
   Shard &shardFor(uint64_t Hash) {
@@ -93,7 +102,6 @@ private:
   }
 
   std::vector<std::unique_ptr<Shard>> Shards;
-  size_t MaxPerShard;
 };
 
 } // namespace engine

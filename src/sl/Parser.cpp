@@ -7,6 +7,7 @@
 #include "sl/Parser.h"
 
 #include <cctype>
+#include <cstdio>
 #include <sstream>
 
 using namespace slp;
@@ -31,6 +32,7 @@ enum class TokKind {
   LParen,
   RParen,
   Comma,
+  Unknown, ///< An unrecognized character; Text carries it.
   End,
 };
 
@@ -90,13 +92,14 @@ public:
     case ',':
       return Make(TokKind::Comma, 1);
     default:
-      return Make(TokKind::End, 0); // Caller reports via expect().
+      // Carry the offending character so diagnostics can name it with
+      // its real position instead of claiming the input ended.
+      return Make(TokKind::Unknown, 1);
     }
   }
 
   unsigned line() const { return Line; }
   unsigned column() const { return Column; }
-  bool atGarbage() const { return Pos < Input.size(); }
 
 private:
   bool startsWith(std::string_view S) const {
@@ -161,8 +164,25 @@ private:
   void advance() { Tok = Lex.next(); }
 
   bool fail(std::string Message) {
-    if (!Err)
+    if (!Err) {
+      // An unrecognized character is the root cause of whatever the
+      // grammar expected; report it by name and position. Bytes
+      // outside printable ASCII (UTF-8 continuation bytes, control
+      // characters) are rendered as hex escapes so the diagnostic
+      // itself stays well-formed.
+      if (Tok.Kind == TokKind::Unknown) {
+        char C = Tok.Text.empty() ? '\0' : Tok.Text.front();
+        if (std::isprint(static_cast<unsigned char>(C))) {
+          Message = std::string("unrecognized character '") + C + "'";
+        } else {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\x%02X",
+                        static_cast<unsigned char>(C));
+          Message = std::string("unrecognized character '") + Buf + "'";
+        }
+      }
       Err = ParseError{std::move(Message), Tok.Line, Tok.Column};
+    }
     return false;
   }
 

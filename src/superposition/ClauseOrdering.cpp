@@ -36,12 +36,9 @@ ClauseOrdering::sortedLiterals(const Clause &C) const {
   return Lits;
 }
 
-Order ClauseOrdering::compareClauses(const Clause &A, const Clause &B) const {
-  // For total element orders, the multiset extension coincides with a
-  // lexicographic comparison of the descending-sorted sequences, with
-  // a proper prefix being smaller.
-  std::vector<OrientedLiteral> LA = sortedLiterals(A);
-  std::vector<OrientedLiteral> LB = sortedLiterals(B);
+Order ClauseOrdering::compareSortedLiterals(
+    const std::vector<OrientedLiteral> &LA,
+    const std::vector<OrientedLiteral> &LB) const {
   size_t N = std::min(LA.size(), LB.size());
   for (size_t I = 0; I != N; ++I) {
     Order O = compareLiterals(LA[I], LB[I]);
@@ -53,6 +50,13 @@ Order ClauseOrdering::compareClauses(const Clause &A, const Clause &B) const {
   if (LA.size() > LB.size())
     return Order::Greater;
   return Order::Equal;
+}
+
+Order ClauseOrdering::compareClauses(const Clause &A, const Clause &B) const {
+  // For total element orders, the multiset extension coincides with a
+  // lexicographic comparison of the descending-sorted sequences, with
+  // a proper prefix being smaller.
+  return compareSortedLiterals(sortedLiterals(A), sortedLiterals(B));
 }
 
 bool ClauseOrdering::isMaximal(const OrientedLiteral &L,

@@ -50,6 +50,18 @@ public:
   /// Multiset extension to clauses; total on canonical clauses.
   Order compareClauses(const Clause &A, const Clause &B) const;
 
+  /// Descending-sorted oriented literal list of a clause. Exposed so
+  /// callers that compare one clause many times (the model-generation
+  /// sort) can precompute the lists once instead of re-sorting per
+  /// comparison.
+  std::vector<OrientedLiteral> sortedLiterals(const Clause &C) const;
+
+  /// Lexicographic comparison of two descending-sorted literal lists —
+  /// the multiset clause order on precomputed lists (a proper prefix
+  /// is smaller).
+  Order compareSortedLiterals(const std::vector<OrientedLiteral> &LA,
+                              const std::vector<OrientedLiteral> &LB) const;
+
   /// True if no literal of \p C is greater than \p L ("maximal").
   bool isMaximal(const OrientedLiteral &L, const Clause &C) const;
 
@@ -62,9 +74,6 @@ public:
   const TermOrder &termOrder() const { return Ord; }
 
 private:
-  /// Descending-sorted oriented literal list of a clause.
-  std::vector<OrientedLiteral> sortedLiterals(const Clause &C) const;
-
   const TermOrder &Ord;
 };
 

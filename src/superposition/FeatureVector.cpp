@@ -1,0 +1,61 @@
+//===- superposition/FeatureVector.cpp - Clause feature vectors -----------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "superposition/FeatureVector.h"
+
+#include "support/Hashing.h"
+
+using namespace slp;
+using namespace slp::sup;
+
+uint64_t FeatureVector::symbolBit(Symbol S) {
+  return 1ull << (hashValue(S.id()) & 63);
+}
+
+namespace {
+
+/// Saturating 16-bit increment; counts never wrap (features must stay
+/// monotone under literal-set inclusion even for degenerate clauses).
+void bump(uint16_t &V, uint16_t By = 1) {
+  uint32_t Sum = static_cast<uint32_t>(V) + By;
+  V = Sum > 0xffff ? 0xffff : static_cast<uint16_t>(Sum);
+}
+
+/// Accumulates symbol-bucket counts and the bloom mask of \p T and
+/// returns its depth (a constant has depth 1).
+unsigned walk(const Term *T, uint16_t *Buckets, uint64_t &Mask) {
+  bump(Buckets[hashValue(T->symbol().id()) % FeatureVector::NumBuckets]);
+  Mask |= FeatureVector::symbolBit(T->symbol());
+  unsigned Depth = 0;
+  for (const Term *A : T->args())
+    Depth = std::max(Depth, walk(A, Buckets, Mask));
+  return Depth + 1;
+}
+
+} // namespace
+
+FeatureVector FeatureVector::of(const Clause &C) {
+  FeatureVector FV;
+  // Layout: [0] #neg, [1] #pos, [2] neg depth, [3] pos depth, then
+  // NumBuckets neg symbol counts followed by NumBuckets pos counts.
+  bump(FV.Feats[0], static_cast<uint16_t>(
+                        std::min<size_t>(C.neg().size(), 0xffff)));
+  bump(FV.Feats[1], static_cast<uint16_t>(
+                        std::min<size_t>(C.pos().size(), 0xffff)));
+  for (const Equation &E : C.neg()) {
+    unsigned D = std::max(walk(E.lhs(), &FV.Feats[4], FV.Mask),
+                          walk(E.rhs(), &FV.Feats[4], FV.Mask));
+    FV.Feats[2] = std::max<uint16_t>(FV.Feats[2],
+                                     static_cast<uint16_t>(std::min(D, 0xffffu)));
+  }
+  for (const Equation &E : C.pos()) {
+    unsigned D = std::max(walk(E.lhs(), &FV.Feats[4 + NumBuckets], FV.Mask),
+                          walk(E.rhs(), &FV.Feats[4 + NumBuckets], FV.Mask));
+    FV.Feats[3] = std::max<uint16_t>(FV.Feats[3],
+                                     static_cast<uint16_t>(std::min(D, 0xffffu)));
+  }
+  return FV;
+}

@@ -1,0 +1,121 @@
+//===- superposition/Index.cpp - Clause indexing --------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "superposition/Index.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace slp;
+using namespace slp::sup;
+
+//===----------------------------------------------------------------------===//
+// SubsumptionIndex
+//===----------------------------------------------------------------------===//
+
+uint32_t SubsumptionIndex::allocNode() {
+  if (!Free.empty()) {
+    uint32_t Idx = Free.back();
+    Free.pop_back();
+    return Idx;
+  }
+  Pool.emplace_back();
+  return static_cast<uint32_t>(Pool.size() - 1);
+}
+
+void SubsumptionIndex::freeNode(uint32_t Idx) {
+  Pool[Idx].Kids.clear();
+  Pool[Idx].Ids.clear();
+  Free.push_back(Idx);
+}
+
+namespace {
+
+/// First child slot whose feature value is >= V (Kids sorted by value).
+std::vector<std::pair<uint16_t, uint32_t>>::const_iterator
+kidLowerBound(const std::vector<std::pair<uint16_t, uint32_t>> &Kids,
+              uint16_t V) {
+  return std::lower_bound(
+      Kids.begin(), Kids.end(), V,
+      [](const std::pair<uint16_t, uint32_t> &K, uint16_t W) {
+        return K.first < W;
+      });
+}
+
+} // namespace
+
+uint32_t SubsumptionIndex::findKid(const Node &N, uint16_t V) const {
+  auto It = kidLowerBound(N.Kids, V);
+  return It != N.Kids.end() && It->first == V ? It->second : ~0u;
+}
+
+void SubsumptionIndex::insert(uint32_t Id, const FeatureVector &FV) {
+  uint32_t Cur = 0;
+  for (size_t I = 0; I != FeatureVector::NumFeatures; ++I) {
+    uint32_t Kid = findKid(Pool[Cur], FV[I]);
+    if (Kid == ~0u) {
+      Kid = allocNode(); // May reallocate Pool; re-find the parent.
+      Node &N = Pool[Cur];
+      auto It = kidLowerBound(N.Kids, FV[I]);
+      N.Kids.insert(It, {FV[I], Kid});
+    }
+    Cur = Kid;
+  }
+  assert(std::find(Pool[Cur].Ids.begin(), Pool[Cur].Ids.end(), Id) ==
+             Pool[Cur].Ids.end() &&
+         "clause id inserted twice");
+  Pool[Cur].Ids.push_back(Id);
+  ++NumEntries;
+}
+
+bool SubsumptionIndex::erase(uint32_t Id, const FeatureVector &FV) {
+  // Walk the path down, then remove the id and prune now-empty nodes
+  // from the leaf back up so retrieval never visits dead regions.
+  std::array<uint32_t, FeatureVector::NumFeatures> Path;
+  uint32_t Cur = 0;
+  for (size_t I = 0; I != FeatureVector::NumFeatures; ++I) {
+    Path[I] = Cur;
+    Cur = findKid(Pool[Cur], FV[I]);
+    if (Cur == ~0u)
+      return false;
+  }
+  Node &Leaf = Pool[Cur];
+  auto It = std::find(Leaf.Ids.begin(), Leaf.Ids.end(), Id);
+  if (It == Leaf.Ids.end())
+    return false;
+  *It = Leaf.Ids.back();
+  Leaf.Ids.pop_back();
+  --NumEntries;
+  for (size_t I = FeatureVector::NumFeatures;
+       I != 0 && Pool[Cur].Ids.empty() && Pool[Cur].Kids.empty(); --I) {
+    Node &Parent = Pool[Path[I - 1]];
+    auto KidIt = kidLowerBound(Parent.Kids, FV[I - 1]);
+    assert(KidIt != Parent.Kids.end() && KidIt->second == Cur);
+    Parent.Kids.erase(KidIt);
+    freeNode(Cur);
+    Cur = Path[I - 1];
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// DemodIndex
+//===----------------------------------------------------------------------===//
+
+void DemodIndex::addLhs(Symbol S) {
+  uint64_t Bit = FeatureVector::symbolBit(S);
+  unsigned Pos = static_cast<unsigned>(__builtin_ctzll(Bit));
+  if (BitCount[Pos]++ == 0)
+    Mask |= Bit;
+}
+
+void DemodIndex::removeLhs(Symbol S) {
+  uint64_t Bit = FeatureVector::symbolBit(S);
+  unsigned Pos = static_cast<unsigned>(__builtin_ctzll(Bit));
+  assert(BitCount[Pos] != 0 && "removing a rule that was never added");
+  if (--BitCount[Pos] == 0)
+    Mask &= ~Bit;
+}

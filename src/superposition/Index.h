@@ -1,0 +1,185 @@
+//===- superposition/Index.h - Clause indexing ------------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clause indexing for the saturation engine's redundancy elimination.
+///
+/// SubsumptionIndex is a feature-vector trie (Schulz): clause ids are
+/// stored at the leaf reached by their FeatureVector, and because every
+/// feature is monotone under subsumption, the clauses that can subsume
+/// a query C live on trie paths that are pointwise <= FV(C), while the
+/// clauses C can subsume live on paths pointwise >= FV(C). A retrieval
+/// therefore visits only the dominated (or dominating) region of the
+/// trie instead of scanning the whole clause database.
+///
+/// The representation is tuned for traversal speed on the saturation
+/// hot path: nodes live contiguously in a pool (32-bit indices, free
+/// list for pruned subtrees), children are kept in small sorted
+/// vectors, and retrieval is visitor-based so forward-subsumption
+/// queries can stop at the first hit instead of materializing the
+/// whole candidate set.
+///
+/// DemodIndex is a root-symbol fingerprint over the left-hand sides of
+/// the active unit demodulators. Each rule sets one bit of a 64-bit
+/// mask (per-bit reference counted, so retiring a rule clears its bit
+/// when the last rule sharing it disappears). Normalization then skips
+/// the rewrite-rule hash lookup for every subterm whose root symbol
+/// cannot match, and whole clauses are skipped when their symbol
+/// fingerprint (FeatureVector::symbolMask) is disjoint from the rule
+/// mask.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPERPOSITION_INDEX_H
+#define SLP_SUPERPOSITION_INDEX_H
+
+#include "superposition/FeatureVector.h"
+
+#include <array>
+#include <vector>
+
+namespace slp {
+namespace sup {
+
+/// Feature-vector trie mapping clause ids to their FeatureVector,
+/// answering the two one-sided dominance queries subsumption needs.
+class SubsumptionIndex {
+public:
+  SubsumptionIndex() { Pool.emplace_back(); /* root */ }
+
+  /// Registers \p Id under \p FV. A clause id may be inserted again
+  /// after erase (the delete/revive machinery does this); inserting an
+  /// id that is currently present is an API-contract violation.
+  void insert(uint32_t Id, const FeatureVector &FV);
+
+  /// Unregisters \p Id (previously inserted under \p FV). Returns
+  /// false if the id was not present.
+  bool erase(uint32_t Id, const FeatureVector &FV);
+
+  /// Visits the ids whose vector is dominated by \p FV — the only
+  /// stored clauses that can subsume the query clause. Stops early
+  /// (returning true) as soon as \p Visit returns true.
+  template <typename VisitorT>
+  bool anyPotentialSubsumer(const FeatureVector &FV, VisitorT &&Visit) const {
+    return traverse<true>(0, FV, 0, Visit);
+  }
+
+  /// Visits the ids whose vector dominates \p FV — the only stored
+  /// clauses the query clause can subsume. Stops early when \p Visit
+  /// returns true.
+  template <typename VisitorT>
+  bool anyPotentialSubsumed(const FeatureVector &FV, VisitorT &&Visit) const {
+    return traverse<false>(0, FV, 0, Visit);
+  }
+
+  /// Appends the ids whose vector is dominated by \p FV.
+  void potentialSubsumers(const FeatureVector &FV,
+                          std::vector<uint32_t> &Out) const {
+    anyPotentialSubsumer(FV, [&](uint32_t Id) {
+      Out.push_back(Id);
+      return false;
+    });
+  }
+
+  /// Appends the ids whose vector dominates \p FV.
+  void potentialSubsumed(const FeatureVector &FV,
+                         std::vector<uint32_t> &Out) const {
+    anyPotentialSubsumed(FV, [&](uint32_t Id) {
+      Out.push_back(Id);
+      return false;
+    });
+  }
+
+  /// Number of ids currently stored.
+  size_t size() const { return NumEntries; }
+  bool empty() const { return NumEntries == 0; }
+
+private:
+  /// One trie node. Interior nodes hold children sorted by feature
+  /// value; leaves (depth == NumFeatures) hold clause ids. Both small
+  /// in practice, so sorted vectors beat node-based maps.
+  struct Node {
+    std::vector<std::pair<uint16_t, uint32_t>> Kids; ///< (value, pool idx)
+    std::vector<uint32_t> Ids;
+  };
+
+  uint32_t allocNode();
+  void freeNode(uint32_t Idx);
+
+  /// Child of \p N with feature value \p V, or ~0u.
+  uint32_t findKid(const Node &N, uint16_t V) const;
+
+  /// Depth-first walk of the dominated (Below = true: values <=
+  /// FV[Depth]) or dominating (values >= FV[Depth]) region.
+  template <bool Below, typename VisitorT>
+  bool traverse(uint32_t NodeIdx, const FeatureVector &FV, size_t Depth,
+                VisitorT &Visit) const {
+    const Node &N = Pool[NodeIdx];
+    if (Depth == FeatureVector::NumFeatures) {
+      for (uint32_t Id : N.Ids)
+        if (Visit(Id))
+          return true;
+      return false;
+    }
+    // Kids are sorted by value: the qualifying range is a prefix
+    // (Below) or a suffix (!Below).
+    if constexpr (Below) {
+      for (const auto &[V, Kid] : N.Kids) {
+        if (V > FV[Depth])
+          break;
+        if (traverse<Below>(Kid, FV, Depth + 1, Visit))
+          return true;
+      }
+    } else {
+      for (auto It = N.Kids.rbegin(); It != N.Kids.rend(); ++It) {
+        if (It->first < FV[Depth])
+          break;
+        if (traverse<Below>(It->second, FV, Depth + 1, Visit))
+          return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<Node> Pool;      ///< Pool[0] is the root.
+  std::vector<uint32_t> Free;  ///< Recyclable pool slots.
+  size_t NumEntries = 0;
+};
+
+/// Root-symbol fingerprint of the current demodulator set.
+class DemodIndex {
+public:
+  /// Records a rule with left-hand side root symbol \p S.
+  void addLhs(Symbol S);
+
+  /// Retires a rule previously added with root symbol \p S.
+  void removeLhs(Symbol S);
+
+  /// True iff some rule's left-hand side has a root symbol hashing to
+  /// the same fingerprint bit as \p S (no false negatives).
+  bool mayMatchRoot(Symbol S) const {
+    return (Mask & FeatureVector::symbolBit(S)) != 0;
+  }
+
+  /// True iff a clause with symbol fingerprint \p ClauseMask can
+  /// contain any rule's left-hand side as a subterm.
+  bool mayRewrite(uint64_t ClauseMask) const {
+    return (Mask & ClauseMask) != 0;
+  }
+
+  uint64_t mask() const { return Mask; }
+  bool empty() const { return Mask == 0; }
+
+private:
+  uint64_t Mask = 0;
+  /// Rules per fingerprint bit; a bit clears when its count drops to 0.
+  std::array<uint32_t, 64> BitCount{};
+};
+
+} // namespace sup
+} // namespace slp
+
+#endif // SLP_SUPERPOSITION_INDEX_H

@@ -24,22 +24,12 @@ Saturation::AddResult Saturation::addInput(std::vector<Equation> Neg,
     return {~0u, false};
   }
 
-  // Duplicate handling: a live duplicate is not new; a *deleted*
-  // duplicate must be revived — its deletion was justified by clauses
-  // that may since have been deleted themselves (simplification chains
-  // can be circular), so dropping it could silently lose the fact.
-  auto [It, End] = Fingerprints.equal_range(C.fingerprint());
-  for (; It != End; ++It)
-    if (DB[It->second].C == C) {
-      if (!DB[It->second].Deleted)
-        return {It->second, false};
-      DB[It->second].Deleted = false;
-      Passive.push(
-          {static_cast<uint32_t>(DB[It->second].C.size()), It->second});
-      return {It->second, true};
-    }
+  DupOutcome Dup = handleDuplicate(C);
+  if (Dup.State != DupOutcome::NoDup)
+    return {Dup.Id, Dup.State == DupOutcome::Revived};
 
-  if (isForwardSubsumed(C)) {
+  FeatureVector FV = FeatureVector::of(C);
+  if (isForwardSubsumed(C, FV)) {
     ++Stats.SubsumedFwd;
     return {~0u, false};
   }
@@ -52,9 +42,12 @@ Saturation::AddResult Saturation::addInput(std::vector<Equation> Neg,
   uint32_t Size = static_cast<uint32_t>(C.size());
   Fingerprints.emplace(C.fingerprint(), Id);
   DB.push_back({std::move(C), Id, std::move(J)});
+  registerClause(Id, FV);
   Passive.push({Size, Id});
   if (Empty && !EmptyClauseId)
     EmptyClauseId = Id;
+  else
+    backwardSubsume(Id);
   return {Id, true};
 }
 
@@ -64,19 +57,15 @@ std::optional<uint32_t> Saturation::keepDerived(Clause C, Justification J) {
     ++Stats.Tautologies;
     return std::nullopt;
   }
-  auto [It, End] = Fingerprints.equal_range(C.fingerprint());
-  for (; It != End; ++It)
-    if (DB[It->second].C == C) {
-      // Revive deleted duplicates (see addInput for the rationale).
-      if (DB[It->second].Deleted) {
-        DB[It->second].Deleted = false;
-        Passive.push(
-            {static_cast<uint32_t>(DB[It->second].C.size()), It->second});
-        return It->second;
-      }
-      return std::nullopt;
-    }
-  if (isForwardSubsumed(C)) {
+  DupOutcome Dup = handleDuplicate(C);
+  if (Dup.State == DupOutcome::Revived) {
+    ++Stats.Kept;
+    return Dup.Id;
+  }
+  if (Dup.State != DupOutcome::NoDup)
+    return std::nullopt;
+  FeatureVector FV = FeatureVector::of(C);
+  if (isForwardSubsumed(C, FV)) {
     ++Stats.SubsumedFwd;
     return std::nullopt;
   }
@@ -85,20 +74,113 @@ std::optional<uint32_t> Saturation::keepDerived(Clause C, Justification J) {
   uint32_t Size = static_cast<uint32_t>(C.size());
   Fingerprints.emplace(C.fingerprint(), Id);
   DB.push_back({std::move(C), Id, std::move(J)});
+  registerClause(Id, FV);
   Passive.push({Size, Id});
   ++Stats.Kept;
   if (Empty && !EmptyClauseId)
     EmptyClauseId = Id;
+  else
+    backwardSubsume(Id);
   return Id;
 }
 
-bool Saturation::isForwardSubsumed(const Clause &C) const {
+Saturation::DupOutcome Saturation::handleDuplicate(const Clause &C) {
+  // A live duplicate is not new; a *deleted* duplicate must be
+  // revived — its deletion was justified by clauses that may since
+  // have been deleted themselves (simplification chains can be
+  // circular), so dropping it could silently lose the fact. Revival
+  // must re-check forward subsumption first: if a *live* clause
+  // subsumes the duplicate, its deletion is still justified and
+  // resurrecting it would undo redundancy elimination.
+  auto [It, End] = Fingerprints.equal_range(C.fingerprint());
+  for (; It != End; ++It)
+    if (DB[It->second].C == C) {
+      uint32_t DupId = It->second;
+      if (!DB[DupId].Deleted)
+        return {DupOutcome::LiveDup, DupId};
+      if (isForwardSubsumed(C, FVById[DupId], DupId)) {
+        ++Stats.SubsumedFwd;
+        return {DupOutcome::StillSubsumed, DupId};
+      }
+      DB[DupId].Deleted = false;
+      registerClause(DupId, FVById[DupId]);
+      Passive.push({static_cast<uint32_t>(DB[DupId].C.size()), DupId});
+      backwardSubsume(DupId);
+      return {DupOutcome::Revived, DupId};
+    }
+  return {DupOutcome::NoDup, ~0u};
+}
+
+void Saturation::registerClause(uint32_t Id, const FeatureVector &FV) {
+  if (FVById.size() <= Id)
+    FVById.resize(Id + 1);
+  if (&FVById[Id] != &FV)
+    FVById[Id] = FV;
+  if (indexed())
+    SubIdx.insert(Id, FVById[Id]);
+  ++NumLive;
+}
+
+bool Saturation::isForwardSubsumed(const Clause &C, const FeatureVector &FV,
+                                   uint32_t ExcludeId) {
   if (!Opts.Subsumption)
     return false;
-  for (const ClauseEntry &E : DB)
-    if (!E.Deleted && E.C.subsumes(C))
+  ++Stats.SubQueries;
+  // A full-database scan would consider every live clause except the
+  // excluded one (when it is live, e.g. the given-clause re-check).
+  Stats.SubScanBaseline +=
+      NumLive - (ExcludeId != ~0u && !DB[ExcludeId].Deleted ? 1 : 0);
+  if (indexed()) {
+    // Early exit at the first subsumer, mirroring the linear scan.
+    return SubIdx.anyPotentialSubsumer(FV, [&](uint32_t Id) {
+      if (Id == ExcludeId)
+        return false;
+      ++Stats.SubChecks;
+      return DB[Id].C.subsumes(C);
+    });
+  }
+  for (const ClauseEntry &E : DB) {
+    if (E.Deleted || E.Id == ExcludeId)
+      continue;
+    ++Stats.SubChecks;
+    if (E.C.subsumes(C))
       return true;
+  }
   return false;
+}
+
+void Saturation::backwardSubsume(uint32_t NewId) {
+  if (!Opts.Subsumption)
+    return;
+  const Clause &C = DB[NewId].C;
+  ++Stats.SubQueries;
+  // NewId itself is live and registered by now; a scan skips it.
+  Stats.SubScanBaseline += NumLive - 1;
+  if (indexed()) {
+    // Collect first: deleteClause edits the trie, so deletions must
+    // not happen mid-traversal.
+    Candidates.clear();
+    SubIdx.potentialSubsumed(FVById[NewId], Candidates);
+    for (uint32_t Id : Candidates) {
+      if (Id == NewId)
+        continue;
+      ++Stats.SubChecks;
+      if (C.subsumes(DB[Id].C)) {
+        deleteClause(Id);
+        ++Stats.SubsumedBwd;
+      }
+    }
+    return;
+  }
+  for (ClauseEntry &E : DB) {
+    if (E.Deleted || E.Id == NewId)
+      continue;
+    ++Stats.SubChecks;
+    if (C.subsumes(E.C)) {
+      deleteClause(E.Id);
+      ++Stats.SubsumedBwd;
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -119,12 +201,18 @@ void Saturation::maybeAddDemodulator(uint32_t Id) {
   if (Demod.reducibleAtRoot(L))
     return; // Keep the system left-reduced; superposition joins them.
   Demod.addRule(L, R, Id);
+  DemodIdx.addLhs(L->symbol());
   DemodOwned.emplace(Id, L);
 
   // Backward demodulation: rewrite active clauses reducible by the new
-  // unit and send the results back through the queue.
+  // unit and send the results back through the queue. A clause whose
+  // symbol fingerprint misses L's root symbol cannot contain L and is
+  // skipped without walking its terms.
+  const uint64_t LhsBit = FeatureVector::symbolBit(L->symbol());
   for (uint32_t ActId : Active) {
     if (ActId == Id || DB[ActId].Deleted)
+      continue;
+    if (!(FVById[ActId].symbolMask() & LhsBit))
       continue;
     auto Rewritten = demodClause(DB[ActId].C, ActId);
     if (!Rewritten)
@@ -156,6 +244,10 @@ const Term *Saturation::demodTerm(const Term *T, uint32_t SelfId,
       if (Changed)
         Current = Terms.make(Current->symbol(), NewArgs);
     }
+    // Fingerprint test first: most subterms share no root symbol with
+    // any demodulator, so the rule-table lookup is usually skipped.
+    if (!DemodIdx.mayMatchRoot(Current->symbol()))
+      return Current;
     const RewriteRule *Rule = Demod.ruleFor(Current);
     if (!Rule || Rule->GeneratingClause == SelfId)
       return Current;
@@ -166,6 +258,12 @@ const Term *Saturation::demodTerm(const Term *T, uint32_t SelfId,
 
 std::optional<std::pair<Clause, std::vector<uint32_t>>>
 Saturation::demodClause(const Clause &C, uint32_t SelfId) {
+  // The clause can only be rewritten if some demodulator's left-hand
+  // side occurs inside it, which requires the root-symbol fingerprints
+  // to intersect.
+  if (SelfId < FVById.size() &&
+      !DemodIdx.mayRewrite(FVById[SelfId].symbolMask()))
+    return std::nullopt;
   std::vector<uint32_t> Used;
   bool Changed = false;
   std::vector<Equation> Neg, Pos;
@@ -192,31 +290,23 @@ Saturation::demodClause(const Clause &C, uint32_t SelfId) {
 }
 
 void Saturation::deleteClause(uint32_t Id) {
+  if (DB[Id].Deleted)
+    return;
   DB[Id].Deleted = true;
+  --NumLive;
+  if (indexed())
+    SubIdx.erase(Id, FVById[Id]);
   auto It = DemodOwned.find(Id);
   if (It == DemodOwned.end())
     return;
   Demod.removeRuleFor(It->second);
+  DemodIdx.removeLhs(It->second->symbol());
   DemodOwned.erase(It);
 }
 
 //===----------------------------------------------------------------------===//
 // Main loop
 //===----------------------------------------------------------------------===//
-
-void Saturation::backwardSimplify(uint32_t NewId) {
-  if (!Opts.Subsumption)
-    return;
-  const Clause &C = DB[NewId].C;
-  for (uint32_t ActId : Active) {
-    if (ActId == NewId || DB[ActId].Deleted)
-      continue;
-    if (C.subsumes(DB[ActId].C)) {
-      deleteClause(ActId);
-      ++Stats.SubsumedBwd;
-    }
-  }
-}
 
 SatResult Saturation::saturate(Fuel &F) {
   while (!Passive.empty() || EmptyClauseId) {
@@ -295,14 +385,9 @@ void Saturation::stepGivenClause() {
     return;
   }
   // Another live clause may have arrived since this one was queued.
-  bool Subsumed = false;
-  if (Opts.Subsumption)
-    for (const ClauseEntry &E : DB)
-      if (!E.Deleted && E.Id != GivenId && E.C.subsumes(C)) {
-        Subsumed = true;
-        break;
-      }
-  if (Subsumed) {
+  // (Keep-time backward subsumption deletes most such clauses already;
+  // this is a cheap indexed safety net.)
+  if (isForwardSubsumed(C, FVById[GivenId], GivenId)) {
     deleteClause(GivenId);
     ++Stats.SubsumedFwd;
     return;
@@ -313,7 +398,6 @@ void Saturation::stepGivenClause() {
     return;
   }
 
-  backwardSimplify(GivenId);
   Active.push_back(GivenId);
   maybeAddDemodulator(GivenId);
   generateInferences(GivenId);
@@ -548,13 +632,30 @@ GroundRewriteSystem Saturation::genModel() const {
   return genModelFrom(liveClauses());
 }
 
+const std::vector<OrientedLiteral> &
+Saturation::sortedLits(uint32_t Id) const {
+  if (SortedLitsCache.size() <= Id)
+    SortedLitsCache.resize(Id + 1);
+  std::optional<std::vector<OrientedLiteral>> &Slot = SortedLitsCache[Id];
+  if (!Slot)
+    Slot.emplace(Ordering.sortedLiterals(DB[Id].C));
+  return *Slot;
+}
+
 GroundRewriteSystem
 Saturation::genModelFrom(std::vector<uint32_t> Ids) const {
   GroundRewriteSystem R(Terms);
 
   // Process clauses in ascending clause order (Bachmair-Ganzinger).
+  // The per-id sorted literal lists are cached: the model-guided
+  // saturation re-sorts the whole database on every attempt, and
+  // re-deriving the lists per comparison would dominate its cost.
+  // Materialize every list first — a cache miss inside the comparator
+  // would grow the cache vector and dangle the other argument.
+  for (uint32_t Id : Ids)
+    (void)sortedLits(Id);
   std::sort(Ids.begin(), Ids.end(), [this](uint32_t A, uint32_t B) {
-    Order O = Ordering.compareClauses(DB[A].C, DB[B].C);
+    Order O = Ordering.compareSortedLiterals(sortedLits(A), sortedLits(B));
     if (O != Order::Equal)
       return O == Order::Less;
     return A < B;
@@ -562,21 +663,25 @@ Saturation::genModelFrom(std::vector<uint32_t> Ids) const {
 
   for (uint32_t Id : Ids) {
     const Clause &C = DB[Id].C;
-    for (const Equation &E : C.pos()) {
-      if (E.trivial())
-        continue;
-      OrientedLiteral L = Ordering.orient(E, /*Negative=*/false);
-      if (!Ordering.isStrictlyMaximal(L, C))
-        continue;
-      // Productive only if the clause is false so far and the
-      // left-hand side is irreducible.
-      if (R.normalize(L.Max) != L.Max)
-        continue;
-      if (modelSatisfies(R, C))
-        continue;
-      R.addRule(L.Max, L.Min, Id);
-      break;
-    }
+    // Only the greatest literal can be strictly maximal, and it is iff
+    // it strictly exceeds the runner-up; canonical clauses carry no
+    // duplicate literals, so the comparison below is never Equal.
+    const std::vector<OrientedLiteral> &Lits = sortedLits(Id);
+    if (Lits.empty())
+      continue;
+    const OrientedLiteral &L = Lits.front();
+    if (L.Negative || L.Max == L.Min)
+      continue;
+    if (Lits.size() > 1 &&
+        Ordering.compareLiterals(Lits[1], L) != Order::Less)
+      continue;
+    // Productive only if the clause is false so far and the left-hand
+    // side is irreducible.
+    if (R.normalize(L.Max) != L.Max)
+      continue;
+    if (modelSatisfies(R, C))
+      continue;
+    R.addRule(L.Max, L.Min, Id);
   }
   return R;
 }

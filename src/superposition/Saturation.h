@@ -23,6 +23,7 @@
 #define SLP_SUPERPOSITION_SATURATION_H
 
 #include "superposition/ClauseOrdering.h"
+#include "superposition/Index.h"
 #include "support/Fuel.h"
 #include "term/Rewrite.h"
 
@@ -46,16 +47,31 @@ enum class SatResult {
 struct SaturationOptions {
   bool Subsumption = true;  ///< Forward/backward subsumption.
   bool Demodulation = true; ///< Rewriting by unit equations.
+  /// Answer subsumption queries through the feature-vector index
+  /// instead of scanning the clause database. Verdict-neutral: both
+  /// paths find the same subsumers/subsumed, the index merely prunes
+  /// the candidates that are tested.
+  bool IndexedSubsumption = true;
 };
 
 /// Aggregate inference counters, exposed for the benchmark harnesses.
 struct SaturationStats {
   uint64_t Derived = 0;      ///< Conclusions generated.
-  uint64_t Kept = 0;         ///< Clauses that survived simplification.
+  uint64_t Kept = 0;         ///< Clauses that survived simplification
+                             ///< and (re-)entered the passive queue.
   uint64_t Tautologies = 0;  ///< Deleted as valid.
   uint64_t SubsumedFwd = 0;  ///< New clauses killed by old ones.
   uint64_t SubsumedBwd = 0;  ///< Old clauses killed by new ones.
   uint64_t Demodulated = 0;  ///< Rewrites by unit equations.
+  uint64_t SubQueries = 0;   ///< Forward + backward subsumption queries.
+  uint64_t SubChecks = 0;    ///< Clause pairs tested with subsumes().
+  /// Pairs a full clause-database scan would have *enumerated* for the
+  /// same queries (the live clause count at each query, minus the
+  /// query clause itself). SubScanBaseline over SubChecks is the
+  /// index's candidate-pruning factor. Note the baseline ignores the
+  /// early exit a linear forward scan takes on a hit, so linear-mode
+  /// runs also report a (small) pruning factor from their early exits.
+  uint64_t SubScanBaseline = 0;
 };
 
 /// Incremental ground superposition engine.
@@ -148,6 +164,9 @@ private:
   /// reduces to a comparison against it; cached per clause id.
   const OrientedLiteral &maxLiteral(uint32_t Id);
 
+  /// Descending-sorted literals of a clause, cached per clause id.
+  const std::vector<OrientedLiteral> &sortedLits(uint32_t Id) const;
+
   /// Replaces every occurrence position of \p Find in \p In one at a
   /// time; appends each single-position replacement result.
   void replacements(const Term *In, const Term *Find, const Term *Repl,
@@ -164,8 +183,39 @@ private:
   std::optional<std::pair<Clause, std::vector<uint32_t>>>
   demodClause(const Clause &C, uint32_t SelfId);
 
-  bool isForwardSubsumed(const Clause &C) const;
-  void backwardSimplify(uint32_t NewId);
+  /// True iff some live clause other than \p ExcludeId subsumes \p C.
+  /// \p FV must be C's feature vector. Uses the index when enabled.
+  bool isForwardSubsumed(const Clause &C, const FeatureVector &FV,
+                         uint32_t ExcludeId = ~0u);
+
+  /// Deletes every live clause the newly kept clause \p NewId
+  /// subsumes (backward subsumption).
+  void backwardSubsume(uint32_t NewId);
+
+  /// Registers a clause that just became live: stores its feature
+  /// vector, adds it to the subsumption index, and bumps the live
+  /// count. Called on first keep and on revival.
+  void registerClause(uint32_t Id, const FeatureVector &FV);
+
+  /// Disposition of a clause that matches a stored duplicate.
+  struct DupOutcome {
+    enum Kind {
+      NoDup,         ///< No stored duplicate; caller proceeds normally.
+      LiveDup,       ///< A live duplicate exists; clause is not new.
+      StillSubsumed, ///< Deleted duplicate, but a live clause subsumes
+                     ///< it; stays deleted.
+      Revived,       ///< Deleted duplicate re-entered the passive queue.
+    } State;
+    uint32_t Id; ///< The duplicate's id (~0u for NoDup).
+  };
+
+  /// Shared duplicate/revival handling for addInput and keepDerived.
+  DupOutcome handleDuplicate(const Clause &C);
+
+  /// Whether subsumption queries go through the feature-vector index.
+  bool indexed() const {
+    return Opts.Subsumption && Opts.IndexedSubsumption;
+  }
 
   /// One iteration of the given-clause loop: pops the best passive
   /// clause, simplifies, activates, and generates inferences.
@@ -206,8 +256,27 @@ private:
   GroundRewriteSystem Demod;
   /// Left-hand side of the demodulation rule owned by a clause id.
   std::unordered_map<uint32_t, const Term *> DemodOwned;
+  /// Root-symbol fingerprint of the demodulator left-hand sides;
+  /// filters rule lookups per subterm and whole clauses per
+  /// FeatureVector::symbolMask.
+  DemodIndex DemodIdx;
+  /// Feature vector of every clause ever kept, indexed by clause id
+  /// (persists across deletion so revival can re-index cheaply).
+  std::vector<FeatureVector> FVById;
+  /// Feature-vector trie over the *live* clauses (when indexed()).
+  SubsumptionIndex SubIdx;
+  /// Live (non-deleted) clause count, for the scan-baseline stats and
+  /// the linear fallback.
+  size_t NumLive = 0;
+  /// Scratch buffer for index retrievals.
+  std::vector<uint32_t> Candidates;
   /// Memoized maximal literal per clause id (clauses are immutable).
   std::vector<std::optional<OrientedLiteral>> MaxLitCache;
+  /// Memoized descending-sorted literal list per clause id; the
+  /// model-generation pass sorts the whole database on every attempt,
+  /// so re-deriving these per comparison dominates its cost otherwise.
+  mutable std::vector<std::optional<std::vector<OrientedLiteral>>>
+      SortedLitsCache;
   /// Inference partner indexes over *active* clauses: a superposition
   /// between F (from) and G (into) exists only when F's maximal term
   /// occurs inside G's maximal term, so partners are found by term id

@@ -154,6 +154,48 @@ TEST_F(ResultCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_GE(Cache.stats().Evictions, 2u);
 }
 
+TEST_F(ResultCacheTest, CapacityEqualsRequestedBound) {
+  // The shard split must neither overshoot nor undershoot the
+  // requested bound: total capacity is exactly max(MaxEntries,
+  // NumShards), with the division remainder spread across shards.
+  struct Case {
+    size_t Shards, MaxEntries, Want;
+  };
+  const Case Cases[] = {
+      {16, 100, 100}, // 100 % 16 != 0: old code capped at 96.
+      {7, 10, 10},    // old code: 7 * max(1, 10/7) = 7.
+      {16, 5, 16},    // fewer entries than shards: one slot each.
+      {16, 0, 16},
+      {1, 3, 3},
+      {4, 4, 4},
+      {3, 1u << 20, 1u << 20},
+  };
+  for (const Case &C : Cases) {
+    ResultCache::Options Opts;
+    Opts.NumShards = C.Shards;
+    Opts.MaxEntries = C.MaxEntries;
+    ResultCache Cache(Opts);
+    EXPECT_EQ(Cache.capacity(), C.Want)
+        << C.Shards << " shards, " << C.MaxEntries << " entries";
+  }
+}
+
+TEST_F(ResultCacheTest, SizeNeverExceedsCapacity) {
+  ResultCache::Options Opts;
+  Opts.NumShards = 4;
+  Opts.MaxEntries = 10; // 10 = 4*2 + 2: two shards hold 3, two hold 2.
+  ResultCache Cache(Opts);
+  EXPECT_EQ(Cache.capacity(), 10u);
+  for (int I = 0; I != 64; ++I) {
+    std::string Q = "x != y |- ";
+    for (int J = 0; J <= I; ++J)
+      Q += (J ? " * next(x, y)" : "next(x, y)");
+    Cache.insert(canon(Q.c_str()), core::Verdict::Valid);
+    EXPECT_LE(Cache.size(), Cache.capacity());
+  }
+  EXPECT_GT(Cache.stats().Evictions, 0u);
+}
+
 TEST_F(ResultCacheTest, DuplicateInsertIsNoOp) {
   ResultCache Cache;
   CanonicalQuery Q = canon("next(x, y) |- lseg(x, y)");

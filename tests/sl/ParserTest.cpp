@@ -126,3 +126,77 @@ TEST_F(ParserTest, FileErrorReportsLine) {
   ASSERT_FALSE(R.ok());
   EXPECT_EQ(R.Error->Line, 2u);
 }
+
+TEST_F(ParserTest, UnknownCharacterIsNamedWithPosition) {
+  // The lexer must not translate garbage into "end of input": the
+  // offending character is reported by name at its real position.
+  ParseResult R = parseEntailment(Terms, "emp |- $y");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error->Message.find("unrecognized character '$'"),
+            std::string::npos)
+      << R.Error->render();
+  EXPECT_EQ(R.Error->Line, 1u);
+  EXPECT_EQ(R.Error->Column, 8u);
+}
+
+TEST_F(ParserTest, UnknownCharacterAfterValidPrefix) {
+  ParseResult R = parseEntailment(Terms, "x = y |- x = y ; trailing");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error->Message.find("unrecognized character ';'"),
+            std::string::npos)
+      << R.Error->render();
+  EXPECT_EQ(R.Error->Column, 16u);
+}
+
+TEST_F(ParserTest, UnknownCharacterLocationWithCrlfAndComments) {
+  // CRLF line endings, comment lines of both flavors, and an error on
+  // the fourth line: the diagnostic carries the exact line and column.
+  FileParseResult R = parseEntailmentFile(
+      Terms, "# leading comment\r\n"
+             "emp |- emp\r\n"
+             "// another comment\r\n"
+             "x -> y |- @lseg(x, y)\r\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error->Message.find("unrecognized character '@'"),
+            std::string::npos)
+      << R.Error->render();
+  EXPECT_EQ(R.Error->Line, 4u);
+  EXPECT_EQ(R.Error->Column, 11u);
+}
+
+TEST_F(ParserTest, ErrorColumnCountsTabsAsSingleColumns) {
+  // Each tab advances the column by one (no tab expansion), so the
+  // '%' after "\t\temp |- " sits at column 10.
+  FileParseResult R =
+      parseEntailmentFile(Terms, "emp |- emp\n\t\temp |- %\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error->Message.find("unrecognized character '%'"),
+            std::string::npos)
+      << R.Error->render();
+  EXPECT_EQ(R.Error->Line, 2u);
+  EXPECT_EQ(R.Error->Column, 10u);
+}
+
+TEST_F(ParserTest, NonPrintableGarbageIsHexEscaped) {
+  // A UTF-8 lead byte (or any non-printable byte) must not be embedded
+  // raw in the diagnostic; it is rendered as a hex escape.
+  ParseResult R = parseEntailment(Terms, "emp |- \xC3\xA9");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error->Message.find("unrecognized character '\\xC3'"),
+            std::string::npos)
+      << R.Error->render();
+  EXPECT_EQ(R.Error->Column, 8u);
+}
+
+TEST_F(ParserTest, NonLexicalErrorStillReportsExactLocation) {
+  // A grammar (not lexer) error in a multi-line CRLF file: the
+  // missing ')' is reported where the ',' was expected.
+  FileParseResult R = parseEntailmentFile(
+      Terms, "# header\r\n"
+             "lseg(x y) |- emp\r\n");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error->Message.find("','"), std::string::npos)
+      << R.Error->render();
+  EXPECT_EQ(R.Error->Line, 2u);
+  EXPECT_EQ(R.Error->Column, 8u);
+}

@@ -1,0 +1,43 @@
+//===- tools/CliUtil.h - Shared CLI option helpers --------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Option-parsing helpers shared by the slp/slp-batch/slpgen binaries,
+/// so validation fixes apply to every tool at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_TOOLS_CLIUTIL_H
+#define SLP_TOOLS_CLIUTIL_H
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace slp {
+namespace cli {
+
+/// Parses the digits of `--opt=N`; false on empty, non-numeric,
+/// negative, or out-of-range text. (strtoull silently wraps "-1" to
+/// ULLONG_MAX, so the sign is rejected explicitly.)
+inline bool parseUnsigned(const std::string &Text, uint64_t &Out) {
+  if (Text.empty() || Text[0] == '-' || Text[0] == '+')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtoull(Text.c_str(), &End, 10);
+  return *End == '\0' && errno != ERANGE;
+}
+
+/// Largest worker count the tools accept; far above any real machine,
+/// but keeps a typo from asking the OS for billions of threads.
+constexpr uint64_t MaxJobs = 4096;
+
+} // namespace cli
+} // namespace slp
+
+#endif // SLP_TOOLS_CLIUTIL_H

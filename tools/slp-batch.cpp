@@ -12,7 +12,13 @@
 ///     --jobs=N        worker threads (default 1; 0 = all cores)
 ///     --cache=on|off  memoizing entailment cache (default on)
 ///     --fuel=N        inference step budget per query (default unlimited)
-///     --stats         print batch statistics to stderr
+///     --stats         print batch statistics to stderr, including the
+///                     saturation subsumption counters (clauses deleted
+///                     forward/backward, candidate checks vs. the
+///                     full-scan equivalent)
+///     --no-indexed-subsumption
+///                     disable the feature-vector subsumption index
+///                     (verdicts are identical; for measurement)
 ///
 /// Verdicts go to stdout in input order, one `[i] query / verdict`
 /// block per query — byte-identical for any --jobs value. Statistics
@@ -20,12 +26,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "CliUtil.h"
+
 #include "engine/BatchProver.h"
 #include "engine/ThreadPool.h"
+#include "sl/Parser.h"
 
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -37,24 +44,12 @@ namespace {
 
 int usage() {
   std::cerr << "usage: slp-batch [--jobs=N] [--cache=on|off] [--fuel=N] "
-               "[--stats] [file]\n";
+               "[--stats] [--no-indexed-subsumption] [file]\n";
   return 2;
 }
 
-/// Parses the digits of `--opt=N`; false on empty, non-numeric, or
-/// out-of-range text.
-bool parseUnsigned(const std::string &Text, uint64_t &Out) {
-  if (Text.empty())
-    return false;
-  errno = 0;
-  char *End = nullptr;
-  Out = std::strtoull(Text.c_str(), &End, 10);
-  return *End == '\0' && errno != ERANGE;
-}
-
-/// Largest worker count the tools accept; far above any real machine,
-/// but keeps a typo from asking the OS for billions of threads.
-constexpr uint64_t MaxJobs = 4096;
+using cli::MaxJobs;
+using cli::parseUnsigned;
 
 } // namespace
 
@@ -84,6 +79,8 @@ int main(int argc, char **argv) {
       Opts.FuelPerQuery = N;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--no-indexed-subsumption") {
+      Opts.Prover.Sat.IndexedSubsumption = false;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "slp-batch: unknown option '" << Arg << "'\n";
       return usage();
@@ -112,7 +109,9 @@ int main(int argc, char **argv) {
     Input = SS.str();
   }
 
-  std::vector<std::string> Queries = engine::BatchProver::splitCorpus(Input);
+  std::vector<unsigned> LineNos;
+  std::vector<std::string> Queries =
+      engine::BatchProver::splitCorpus(Input, &LineNos);
   engine::BatchProver Engine(Opts);
   std::vector<engine::QueryResult> Results = Engine.run(Queries);
 
@@ -121,7 +120,17 @@ int main(int argc, char **argv) {
     std::cout << "[" << (I + 1) << "] " << Queries[I] << "\n    "
               << Results[I].verdictText();
     if (Results[I].Status == engine::QueryStatus::ParseError) {
-      std::cout << ": " << Results[I].Error;
+      // Workers parse each line standalone, so their diagnostics say
+      // line 1; re-parse to re-anchor the error to the corpus line.
+      SymbolTable ErrSyms;
+      TermTable ErrTerms(ErrSyms);
+      sl::ParseResult P = sl::parseEntailment(ErrTerms, Queries[I]);
+      if (!P.ok()) {
+        P.Error->Line = LineNos[I];
+        std::cout << ": " << P.Error->render();
+      } else {
+        std::cout << ": " << Results[I].Error;
+      }
       Exit = 1;
     }
     std::cout << "\n";
@@ -143,6 +152,17 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(S.CacheHits),
                  static_cast<unsigned long long>(S.CacheMisses), C.Entries,
                  static_cast<unsigned long long>(C.Evictions));
+    double Prune = S.SubChecks
+                       ? static_cast<double>(S.SubScanBaseline) / S.SubChecks
+                       : 0.0;
+    std::fprintf(stderr,
+                 "subsumption (%s): %llu fwd, %llu bwd, %llu checks of "
+                 "%llu scan-equivalent (%.1fx pruned)\n",
+                 Opts.Prover.Sat.IndexedSubsumption ? "indexed" : "linear",
+                 static_cast<unsigned long long>(S.SubsumedFwd),
+                 static_cast<unsigned long long>(S.SubsumedBwd),
+                 static_cast<unsigned long long>(S.SubChecks),
+                 static_cast<unsigned long long>(S.SubScanBaseline), Prune);
   }
   return Exit;
 }

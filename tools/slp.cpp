@@ -18,9 +18,18 @@
 ///     --prover=P    slp (default) | berdine | greedy
 ///     --fuel=N      inference step budget per query (default unlimited)
 ///     --jobs=N      prove queries concurrently through the batch
-///                   engine (verdicts only; 0 = all cores)
+///                   engine (verdicts only; 0 = all cores). Unlike the
+///                   sequential path, which stops at the first bad
+///                   line, this path reports parse errors per query on
+///                   stdout, like slp-batch
+///     --no-indexed-subsumption
+///                   answer subsumption queries by scanning the clause
+///                   database instead of the feature-vector index
+///                   (verdicts are identical; for measurement)
 ///
 //===----------------------------------------------------------------------===//
+
+#include "CliUtil.h"
 
 #include "baselines/BerdineProver.h"
 #include "baselines/UnfoldingProver.h"
@@ -32,8 +41,6 @@
 #include "superposition/ProofCheck.h"
 #include "support/Timer.h"
 
-#include <cerrno>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -54,6 +61,7 @@ struct CliOptions {
   uint64_t FuelSteps = 0;  // 0 = unlimited.
   unsigned Jobs = 1;       // > 1 or 0 routes through the batch engine.
   bool JobsGiven = false;
+  bool IndexedSubsumption = true;
   std::string File; // Empty = stdin.
 };
 
@@ -61,24 +69,12 @@ int usage() {
   std::cerr << "usage: slp [--proof] [--model] [--check-proof] "
                "[--dot-proof] [--dot-model] [--stats] "
                "[--prover=slp|berdine|greedy] [--fuel=N] [--jobs=N] "
-               "[file]\n";
+               "[--no-indexed-subsumption] [file]\n";
   return 2;
 }
 
-/// Parses the digits of `--opt=N`; false on empty, non-numeric, or
-/// out-of-range text.
-bool parseUnsigned(const std::string &Text, uint64_t &Out) {
-  if (Text.empty())
-    return false;
-  errno = 0;
-  char *End = nullptr;
-  Out = std::strtoull(Text.c_str(), &End, 10);
-  return *End == '\0' && errno != ERANGE;
-}
-
-/// Largest worker count the tools accept; far above any real machine,
-/// but keeps a typo from asking the OS for billions of threads.
-constexpr uint64_t MaxJobs = 4096;
+using cli::MaxJobs;
+using cli::parseUnsigned;
 
 } // namespace
 
@@ -100,6 +96,8 @@ int main(int argc, char **argv) {
       Opts.DotModel = true;
     else if (Arg == "--stats")
       Opts.Stats = true;
+    else if (Arg == "--no-indexed-subsumption")
+      Opts.IndexedSubsumption = false;
     else if (Arg.rfind("--prover=", 0) == 0)
       Opts.Prover = Arg.substr(9);
     else if (Arg.rfind("--fuel=", 0) == 0) {
@@ -160,6 +158,45 @@ int main(int argc, char **argv) {
 
   SymbolTable Symbols;
   TermTable Terms(Symbols);
+
+  if (UseEngine) {
+    // No up-front whole-file parse here: the workers parse each line
+    // themselves, and a bad line is reported per-query like slp-batch
+    // does, so the parallel path skips a redundant sequential pass
+    // over the corpus.
+    engine::BatchOptions EngineOpts;
+    EngineOpts.Jobs = Opts.Jobs;
+    EngineOpts.FuelPerQuery = Opts.FuelSteps;
+    EngineOpts.Prover.Sat.IndexedSubsumption = Opts.IndexedSubsumption;
+    engine::BatchProver Engine(EngineOpts);
+    std::vector<unsigned> LineNos;
+    std::vector<std::string> Queries =
+        engine::BatchProver::splitCorpus(Input, &LineNos);
+    std::vector<engine::QueryResult> Results = Engine.run(Queries);
+    int Exit = 0;
+    for (size_t I = 0; I != Results.size(); ++I) {
+      // Echo each query rendered from its own line; fall back to the
+      // raw text if the line does not parse.
+      sl::ParseResult Line = sl::parseEntailment(Terms, Queries[I]);
+      std::cout << "[" << (I + 1) << "] "
+                << (Line.ok() ? sl::str(Terms, *Line.Value) : Queries[I])
+                << "\n    " << Results[I].verdictText();
+      if (Results[I].Status == engine::QueryStatus::ParseError) {
+        // Workers parse each line standalone, so their diagnostics
+        // say line 1; re-anchor to the corpus line.
+        if (!Line.ok()) {
+          Line.Error->Line = LineNos[I];
+          std::cout << ": " << Line.Error->render();
+        } else {
+          std::cout << ": " << Results[I].Error;
+        }
+        Exit = 1;
+      }
+      std::cout << "\n";
+    }
+    return Exit;
+  }
+
   sl::FileParseResult Parsed = sl::parseEntailmentFile(Terms, Input);
   if (!Parsed.ok()) {
     std::cerr << (Opts.File.empty() ? "<stdin>" : Opts.File) << ":"
@@ -167,28 +204,9 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  if (UseEngine) {
-    engine::BatchOptions EngineOpts;
-    EngineOpts.Jobs = Opts.Jobs;
-    EngineOpts.FuelPerQuery = Opts.FuelSteps;
-    engine::BatchProver Engine(EngineOpts);
-    std::vector<std::string> Queries =
-        engine::BatchProver::splitCorpus(Input);
-    std::vector<engine::QueryResult> Results = Engine.run(Queries);
-    for (size_t I = 0; I != Results.size(); ++I) {
-      // Echo each query rendered from its own line (not by index into
-      // Parsed.Entailments, whose line-skipping could drift from
-      // splitCorpus); fall back to the raw text if the line alone
-      // does not parse.
-      sl::ParseResult Line = sl::parseEntailment(Terms, Queries[I]);
-      std::cout << "[" << (I + 1) << "] "
-                << (Line.ok() ? sl::str(Terms, *Line.Value) : Queries[I])
-                << "\n    " << Results[I].verdictText() << "\n";
-    }
-    return 0;
-  }
-
-  core::SlpProver Slp(Terms);
+  core::ProverOptions ProverOpts;
+  ProverOpts.Sat.IndexedSubsumption = Opts.IndexedSubsumption;
+  core::SlpProver Slp(Terms, ProverOpts);
   baselines::BerdineProver Berdine(Terms);
   baselines::UnfoldingProver Greedy(Terms);
 
@@ -232,7 +250,13 @@ int main(int argc, char **argv) {
                        std::to_string(R.Stats.OuterIterations) +
                        " inner=" + std::to_string(R.Stats.InnerIterations) +
                        " clauses=" + std::to_string(R.Stats.PureClauses) +
-                       " fuel=" + std::to_string(R.Stats.FuelUsed);
+                       " fuel=" + std::to_string(R.Stats.FuelUsed) +
+                       "\n  subsumption: fwd=" +
+                       std::to_string(R.Stats.SubsumedFwd) +
+                       " bwd=" + std::to_string(R.Stats.SubsumedBwd) +
+                       " checks=" + std::to_string(R.Stats.SubChecks) +
+                       " scan-equivalent=" +
+                       std::to_string(R.Stats.SubScanBaseline);
     }
     std::cout << "[" << Index << "] " << sl::str(Terms, E) << "\n    "
               << VerdictText;
