@@ -11,6 +11,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Prover.h"
+#include "core/ProverSession.h"
+#include "engine/CanonicalKey.h"
 #include "gen/RandomEntailments.h"
 #include "sl/Parser.h"
 #include "superposition/Saturation.h"
@@ -122,5 +124,63 @@ static void BM_ProverRandomDist2(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ProverRandomDist2);
+
+namespace {
+
+/// A corpus of small entailments, rendered to text: the workload where
+/// per-query table construction dominates the non-inference cost.
+std::vector<std::string> smallEntailmentCorpus() {
+  SymbolTable Symbols;
+  TermTable Terms(Symbols);
+  SplitMix64 Rng(5);
+  std::vector<std::string> Corpus;
+  for (int I = 0; I != 64; ++I)
+    Corpus.push_back(sl::str(
+        Terms, gen::distribution1(Terms, Rng, 4, /*PLseg=*/0.2, /*PNe=*/0.3)));
+  return Corpus;
+}
+
+} // namespace
+
+// The engine's per-query path before ProverSession: parse into a
+// throwaway table, canonicalize, rebuild the canonical form in a
+// second fresh table, prove with a fresh prover.
+static void BM_BatchRebuildPerQuery(benchmark::State &State) {
+  std::vector<std::string> Corpus = smallEntailmentCorpus();
+  for (auto _ : State) {
+    for (const std::string &Q : Corpus) {
+      SymbolTable ParseSyms;
+      TermTable ParseTerms(ParseSyms);
+      sl::ParseResult P = sl::parseEntailment(ParseTerms, Q);
+      engine::CanonicalQuery K = engine::CanonicalQuery::of(*P.Value);
+      SymbolTable Syms;
+      TermTable Terms(Syms);
+      sl::Entailment E = K.rebuild(Terms);
+      core::SlpProver Prover(Terms);
+      benchmark::DoNotOptimize(Prover.prove(E));
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_BatchRebuildPerQuery);
+
+// The same work through one reused ProverSession (the engine's current
+// per-worker path): parse at the checkpoint, rewind, rebuild, prove.
+static void BM_BatchSessionReuse(benchmark::State &State) {
+  std::vector<std::string> Corpus = smallEntailmentCorpus();
+  core::ProverSession Session;
+  for (auto _ : State) {
+    for (const std::string &Q : Corpus) {
+      Session.reset();
+      sl::ParseResult P = sl::parseEntailment(Session.terms(), Q);
+      engine::CanonicalQuery K = engine::CanonicalQuery::of(*P.Value);
+      Session.reset();
+      sl::Entailment E = K.rebuild(Session.terms());
+      benchmark::DoNotOptimize(Session.prove(E));
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * 64);
+}
+BENCHMARK(BM_BatchSessionReuse);
 
 BENCHMARK_MAIN();

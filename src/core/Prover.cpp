@@ -29,6 +29,13 @@ const char *core::verdictName(Verdict V) {
 SlpProver::SlpProver(TermTable &Terms, ProverOptions Opts)
     : Terms(Terms), Opts(Opts) {}
 
+void SlpProver::onTermTableReset() {
+  if (Sat)
+    Sat->clear(); // Stored clauses hold pointers into the rewound arena.
+  Labels.clear();
+  Kbo.invalidateCache(); // Weight memo is term-id-keyed.
+}
+
 bool SlpProver::addPure(PureInput In) {
   uint32_t Tag = static_cast<uint32_t>(Labels.size());
   auto [Id, New] =
@@ -39,12 +46,18 @@ bool SlpProver::addPure(PureInput In) {
 }
 
 ProveResult SlpProver::prove(const sl::Entailment &E, Fuel &F) {
-  // Fresh clause database per query.
-  const TermOrder &Ord =
-      Opts.Ordering == OrderingChoice::Lpo
-          ? static_cast<const TermOrder &>(Lpo)
-          : static_cast<const TermOrder &>(Kbo);
-  Sat = std::make_unique<sup::Saturation>(Terms, Ord, Opts.Sat);
+  // Fresh clause database per query; the Saturation instance itself is
+  // reused (clear() restores the freshly constructed state, keeping
+  // the index pools' allocations warm across queries).
+  if (Sat) {
+    Sat->clear();
+  } else {
+    const TermOrder &Ord =
+        Opts.Ordering == OrderingChoice::Lpo
+            ? static_cast<const TermOrder &>(Lpo)
+            : static_cast<const TermOrder &>(Kbo);
+    Sat = std::make_unique<sup::Saturation>(Terms, Ord, Opts.Sat);
+  }
   Labels.clear();
 
   ProveResult Result;

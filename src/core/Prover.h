@@ -86,8 +86,11 @@ struct ProverOptions {
 };
 
 /// The SLP prover. One instance can check many entailments; per-query
-/// state (the clause database) is rebuilt on each prove() call and
-/// remains accessible afterwards for proof reconstruction.
+/// state (the clause database) is cleared on each prove() call and
+/// remains accessible afterwards for proof reconstruction. The
+/// Saturation engine itself is allocated once and reused across
+/// queries, so its index pools and hash tables amortize; behavior is
+/// bit-identical to constructing a fresh prover per query.
 class SlpProver {
 public:
   explicit SlpProver(TermTable &Terms, ProverOptions Opts = {});
@@ -111,6 +114,13 @@ public:
   const std::vector<std::string> &inputLabels() const { return Labels; }
 
   TermTable &terms() { return Terms; }
+
+  /// Must be called after the underlying TermTable was reset() to a
+  /// mark: rewinding reuses dense term ids for different terms, so the
+  /// clause database (which stores Term pointers) is cleared and every
+  /// term-id-keyed cache (the KBO weight memo) is invalidated.
+  /// ProverSession calls this from its reset().
+  void onTermTableReset();
 
 private:
   /// Adds a pure clause with provenance; returns true if it was new.

@@ -1,0 +1,41 @@
+//===- core/ProverSession.cpp - Reusable prover context -----------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProverSession.h"
+
+#include <algorithm>
+
+using namespace slp;
+using namespace slp::core;
+
+ProverSession::ProverSession(ProverOptions Opts)
+    : Terms(Syms), P(Terms, Opts) {
+  // Pin the shared prefix: nil is term 0 / symbol 0 in every rebuilt
+  // state, exactly as in a fresh table.
+  Terms.nil();
+  Baseline = Terms.mark();
+  Stats.BaselineTerms = Terms.size();
+}
+
+ProveResult ProverSession::prove(const sl::Entailment &E, Fuel &F) {
+  ++Stats.Queries;
+  ProveResult R = P.prove(E, F);
+  Stats.PeakTerms = std::max(Stats.PeakTerms, Terms.size());
+  return R;
+}
+
+void ProverSession::reset() {
+  ++Stats.Resets;
+  Stats.TermsReclaimed += Terms.size() - Baseline.NumTerms;
+  Stats.BytesReclaimed += Terms.arenaBytes() - Baseline.Storage.Bytes;
+  Terms.reset(Baseline);
+  P.onTermTableReset();
+}
+
+const SessionStats &ProverSession::stats() const {
+  Stats.SlabsReused = Terms.arenaSlabsReused();
+  return Stats;
+}

@@ -17,15 +17,20 @@ using namespace slp::engine;
 BatchProver::BatchProver(BatchOptions Opts)
     : Opts(Opts), Cache(Opts.Cache) {}
 
-QueryResult BatchProver::proveOne(const std::string &Query) {
+QueryResult BatchProver::proveOne(const ProofTask &Task,
+                                  core::ProverSession &Session,
+                                  WorkerTotals &Totals) {
   QueryResult Out;
 
-  // Parse into a query-local table: TermTable is not thread safe, and
-  // a table shared across queries would make symbol ids (and thus the
-  // term ordering the calculus uses) depend on scheduling history.
-  SymbolTable ParseSyms;
-  TermTable ParseTerms(ParseSyms);
-  sl::ParseResult P = sl::parseEntailment(ParseTerms, Query);
+  // Parse once, straight into the worker's session table on top of the
+  // baseline checkpoint. TermTable is not thread safe, but sessions
+  // are worker-local; the rewind below keeps symbol ids (and thus the
+  // term ordering the calculus uses) independent of scheduling
+  // history.
+  Session.reset();
+  Timer Phase;
+  sl::ParseResult P = sl::parseEntailment(Session.terms(), Task.Text);
+  Totals.ParseSeconds += Phase.seconds();
   if (!P.ok()) {
     Out.Status = QueryStatus::ParseError;
     Out.Error = P.Error->render();
@@ -34,56 +39,86 @@ QueryResult BatchProver::proveOne(const std::string &Query) {
 
   CanonicalQuery Q = CanonicalQuery::of(*P.Value);
   if (Opts.CacheEnabled) {
-    if (std::optional<core::Verdict> Hit = Cache.lookup(Q)) {
+    Phase.restart();
+    std::optional<core::Verdict> Hit = Cache.lookup(Q);
+    Totals.CacheSeconds += Phase.seconds();
+    if (Hit) {
       Out.V = *Hit;
       Out.FromCache = true;
       return Out;
     }
   }
 
-  // Prove the canonical form in a fresh table so the verdict is a pure
-  // function of the canonical key (see the file comment in the header).
-  SymbolTable Syms;
-  TermTable Terms(Syms);
-  sl::Entailment E = Q.rebuild(Terms);
-  core::SlpProver Prover(Terms, Opts.Prover);
+  // Rewind the parse-local terms and re-materialize the canonical form
+  // at the baseline, so the verdict is a pure function of the
+  // canonical key (see the file comment in the header). The parsed
+  // entailment dangles after the reset; only Q is used from here on.
+  Session.reset();
+  Phase.restart();
+  sl::Entailment E = Q.rebuild(Session.terms());
   Fuel F = Opts.FuelPerQuery ? Fuel(Opts.FuelPerQuery) : Fuel();
-  core::ProveResult R = Prover.prove(E, F);
+  core::ProveResult R = Session.prove(E, F);
+  Totals.ProveSeconds += Phase.seconds();
   Out.V = R.V;
   Out.FuelUsed = R.Stats.FuelUsed;
   Out.SubsumedFwd = R.Stats.SubsumedFwd;
   Out.SubsumedBwd = R.Stats.SubsumedBwd;
   Out.SubChecks = R.Stats.SubChecks;
   Out.SubScanBaseline = R.Stats.SubScanBaseline;
-  if (Opts.CacheEnabled)
+  if (Opts.CacheEnabled) {
+    Phase.restart();
     Cache.insert(Q, R.V);
+    Totals.CacheSeconds += Phase.seconds();
+  }
   return Out;
 }
 
 std::vector<QueryResult>
-BatchProver::run(const std::vector<std::string> &Queries) {
-  std::vector<QueryResult> Results(Queries.size());
+BatchProver::run(const std::vector<ProofTask> &Tasks) {
+  std::vector<QueryResult> Results(Tasks.size());
   Timer T;
 
   unsigned Jobs = ThreadPool::resolveJobs(Opts.Jobs);
-  if (Jobs <= 1 || Queries.size() <= 1) {
-    for (size_t I = 0; I != Queries.size(); ++I)
-      Results[I] = proveOne(Queries[I]);
+  std::vector<WorkerTotals> Totals;
+  std::vector<core::SessionStats> Sessions;
+  if (Jobs <= 1 || Tasks.size() <= 1) {
+    core::ProverSession Session(Opts.Prover);
+    Totals.emplace_back();
+    for (size_t I = 0; I != Tasks.size(); ++I)
+      Results[I] = proveOne(Tasks[I], Session, Totals.front());
+    Sessions.push_back(Session.stats());
   } else {
-    WorkQueue Queue(Queries.size());
+    WorkQueue Queue(Tasks.size());
     ThreadPool Pool(Jobs);
+    Totals.resize(Jobs);
+    Sessions.resize(Jobs);
     for (unsigned W = 0; W != Jobs; ++W)
-      Pool.submit([this, &Queue, &Queries, &Results] {
+      Pool.submit([this, W, &Queue, &Tasks, &Results, &Totals, &Sessions] {
+        // One long-lived session per worker for the whole batch.
+        core::ProverSession Session(Opts.Prover);
         size_t I;
         while (Queue.pop(I))
-          Results[I] = proveOne(Queries[I]);
+          Results[I] = proveOne(Tasks[I], Session, Totals[W]);
+        Sessions[W] = Session.stats();
       });
     Pool.wait();
   }
 
   Stats = BatchStats();
   Stats.Seconds = T.seconds();
-  Stats.Queries = Queries.size();
+  Stats.Queries = Tasks.size();
+  for (const WorkerTotals &WT : Totals) {
+    Stats.ParseSeconds += WT.ParseSeconds;
+    Stats.ProveSeconds += WT.ProveSeconds;
+    Stats.CacheSeconds += WT.CacheSeconds;
+  }
+  Stats.Sessions = Sessions.size();
+  for (const core::SessionStats &SS : Sessions) {
+    Stats.SessionResets += SS.Resets;
+    Stats.TermsReclaimed += SS.TermsReclaimed;
+    Stats.ArenaBytesReclaimed += SS.BytesReclaimed;
+    Stats.ArenaSlabsReused += SS.SlabsReused;
+  }
   for (const QueryResult &R : Results) {
     if (R.Status == QueryStatus::ParseError) {
       ++Stats.ParseErrors;
@@ -110,6 +145,15 @@ BatchProver::run(const std::vector<std::string> &Queries) {
     }
   }
   return Results;
+}
+
+std::vector<QueryResult>
+BatchProver::run(const std::vector<std::string> &Queries) {
+  std::vector<ProofTask> Tasks;
+  Tasks.reserve(Queries.size());
+  for (const std::string &Q : Queries)
+    Tasks.push_back({Q, /*Name=*/"", /*Group=*/0});
+  return run(Tasks);
 }
 
 std::vector<std::string>

@@ -1,0 +1,33 @@
+//===- engine/VcTasks.cpp - Symexec VCs as engine tasks -----------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/VcTasks.h"
+
+#include "symexec/Corpus.h"
+#include "symexec/SymbolicExec.h"
+
+using namespace slp;
+using namespace slp::engine;
+
+VcTaskSet engine::symexecVcTasks() {
+  VcTaskSet Out;
+  // VC generation gets its own table; tasks carry text, so nothing
+  // here outlives this function except strings.
+  SymbolTable Syms;
+  TermTable Terms(Syms);
+  for (const symexec::Program &P : symexec::corpus(Terms)) {
+    uint32_t Group = static_cast<uint32_t>(Out.Programs.size());
+    Out.Programs.push_back(P.Name);
+    symexec::VcGenResult R = symexec::generateVCs(Terms, P);
+    if (!R.ok()) {
+      Out.Error = P.Name + ": " + *R.Error;
+      return Out;
+    }
+    for (const symexec::VC &V : R.VCs)
+      Out.Tasks.push_back({sl::str(Terms, V.E), V.Name, Group});
+  }
+  return Out;
+}

@@ -97,6 +97,19 @@ public:
   size_t size() const { return NumEntries; }
   bool empty() const { return NumEntries == 0; }
 
+  /// Removes every entry. The node pool is kept (minus its contents)
+  /// so a cleared index reuses its allocations.
+  void clear() {
+    for (Node &N : Pool) {
+      N.Kids.clear();
+      N.Ids.clear();
+    }
+    Free.clear();
+    for (uint32_t I = static_cast<uint32_t>(Pool.size()); I-- > 1;)
+      Free.push_back(I);
+    NumEntries = 0;
+  }
+
 private:
   /// One trie node. Interior nodes hold children sorted by feature
   /// value; leaves (depth == NumFeatures) hold clause ids. Both small
@@ -172,6 +185,12 @@ public:
 
   uint64_t mask() const { return Mask; }
   bool empty() const { return Mask == 0; }
+
+  /// Retires every rule at once.
+  void clear() {
+    Mask = 0;
+    BitCount.fill(0);
+  }
 
 private:
   uint64_t Mask = 0;

@@ -15,6 +15,27 @@ using namespace slp::sup;
 // Clause intake
 //===----------------------------------------------------------------------===//
 
+void Saturation::clear() {
+  DB.clear();
+  Fingerprints.clear();
+  Active.clear();
+  Passive = {};
+  EmptyClauseId.reset();
+  Demod.clear();
+  DemodOwned.clear();
+  DemodIdx.clear();
+  FVById.clear();
+  SubIdx.clear();
+  NumLive = 0;
+  Candidates.clear();
+  MaxLitCache.clear();
+  SortedLitsCache.clear();
+  FromByMax.clear();
+  IntoBySubterm.clear();
+  StaleDeleted = 0;
+  Stats = SaturationStats();
+}
+
 Saturation::AddResult Saturation::addInput(std::vector<Equation> Neg,
                                            std::vector<Equation> Pos,
                                            uint32_t ExternalTag) {
@@ -103,6 +124,8 @@ Saturation::DupOutcome Saturation::handleDuplicate(const Clause &C) {
         return {DupOutcome::StillSubsumed, DupId};
       }
       DB[DupId].Deleted = false;
+      if (StaleDeleted)
+        --StaleDeleted;
       registerClause(DupId, FVById[DupId]);
       Passive.push({static_cast<uint32_t>(DB[DupId].C.size()), DupId});
       backwardSubsume(DupId);
@@ -294,6 +317,7 @@ void Saturation::deleteClause(uint32_t Id) {
     return;
   DB[Id].Deleted = true;
   --NumLive;
+  ++StaleDeleted;
   if (indexed())
     SubIdx.erase(Id, FVById[Id]);
   auto It = DemodOwned.find(Id);
@@ -302,6 +326,51 @@ void Saturation::deleteClause(uint32_t Id) {
   Demod.removeRuleFor(It->second);
   DemodIdx.removeLhs(It->second->symbol());
   DemodOwned.erase(It);
+}
+
+//===----------------------------------------------------------------------===//
+// Index compaction
+//===----------------------------------------------------------------------===//
+
+void Saturation::maybeCompactIndexes() {
+  // Amortized: sweep only once the stale entries rival the live set,
+  // so total sweep work stays linear in total deletions. The floor
+  // keeps small queries (the common case) from ever sweeping.
+  if (StaleDeleted >= 64 && StaleDeleted >= NumLive)
+    compactIndexes();
+}
+
+void Saturation::compactIndexes() {
+  ++Stats.Compactions;
+  uint64_t Purged = 0;
+
+  for (auto It = Fingerprints.begin(); It != Fingerprints.end();) {
+    if (DB[It->second].Deleted) {
+      It = Fingerprints.erase(It);
+      ++Purged;
+    } else {
+      ++It;
+    }
+  }
+
+  auto SweepPartnerIndex =
+      [&](std::unordered_map<uint32_t, std::vector<uint32_t>> &Index) {
+        for (auto It = Index.begin(); It != Index.end();) {
+          std::vector<uint32_t> &Ids = It->second;
+          size_t Kept = 0;
+          for (uint32_t Id : Ids)
+            if (!DB[Id].Deleted)
+              Ids[Kept++] = Id;
+          Purged += Ids.size() - Kept;
+          Ids.resize(Kept);
+          It = Ids.empty() ? Index.erase(It) : std::next(It);
+        }
+      };
+  SweepPartnerIndex(FromByMax);
+  SweepPartnerIndex(IntoBySubterm);
+
+  Stats.StalePurged += Purged;
+  StaleDeleted = 0;
 }
 
 //===----------------------------------------------------------------------===//
@@ -357,6 +426,10 @@ SatResult Saturation::saturateModelGuided(
 }
 
 void Saturation::stepGivenClause() {
+  // Safe point for index compaction: no partner-list traversal is in
+  // flight between given-clause iterations.
+  maybeCompactIndexes();
+
   // Pop the smallest passive clause (by literal count, then age);
   // small clauses simplify more and reach the empty clause sooner.
   uint32_t GivenId = Passive.top().second;

@@ -65,6 +65,12 @@ struct SaturationStats {
   uint64_t Demodulated = 0;  ///< Rewrites by unit equations.
   uint64_t SubQueries = 0;   ///< Forward + backward subsumption queries.
   uint64_t SubChecks = 0;    ///< Clause pairs tested with subsumes().
+  /// Lazily-invalidated index entries (Fingerprints, FromByMax,
+  /// IntoBySubterm) belonging to deleted clauses that a compaction
+  /// sweep purged; long-lived instances would otherwise grow without
+  /// bound (see compactIndexes()).
+  uint64_t StalePurged = 0;
+  uint64_t Compactions = 0;  ///< Compaction sweeps performed.
   /// Pairs a full clause-database scan would have *enumerated* for the
   /// same queries (the live clause count at each query, minus the
   /// query clause itself). SubScanBaseline over SubChecks is the
@@ -98,6 +104,25 @@ public:
   /// unaffected).
   AddResult addInput(std::vector<Equation> Neg, std::vector<Equation> Pos,
                      uint32_t ExternalTag = ~0u);
+
+  /// Sweeps the lazily-invalidated entries of deleted clauses out of
+  /// Fingerprints, FromByMax, and IntoBySubterm. Runs automatically
+  /// (amortized) once stale entries rival the live clause count; a
+  /// long-lived caller may also force a sweep at any quiescent point.
+  /// Purging a deleted clause's fingerprint is sound: re-adding an
+  /// equal clause then takes the no-duplicate path (fresh forward-
+  /// subsumption check, fresh id) instead of revival, which preserves
+  /// the clause-set semantics either way.
+  void compactIndexes();
+
+  /// Returns the engine to its freshly constructed state: clause
+  /// database, queues, demodulators, all indexes, caches, and stats.
+  /// This is the documented lifecycle for long-lived instances — a
+  /// ProverSession clears one Saturation per query instead of
+  /// rebuilding it, so allocations (index pools, hash tables) are
+  /// reused across queries. Behavior after clear() is bit-identical to
+  /// a fresh instance over the same inputs.
+  void clear();
 
   /// Runs the given-clause loop until refutation, fixpoint, or fuel
   /// exhaustion. May be called repeatedly as new inputs arrive.
@@ -238,6 +263,10 @@ private:
   /// Marks a clause deleted and retires any demodulation rule it owns.
   void deleteClause(uint32_t Id);
 
+  /// Calls compactIndexes() once enough deletions have accumulated
+  /// (amortized trigger; see the public method).
+  void maybeCompactIndexes();
+
   TermTable &Terms;
   ClauseOrdering Ordering;
   SaturationOptions Opts;
@@ -286,6 +315,9 @@ private:
   /// are invalidated lazily via the Deleted flag.
   std::unordered_map<uint32_t, std::vector<uint32_t>> FromByMax;
   std::unordered_map<uint32_t, std::vector<uint32_t>> IntoBySubterm;
+  /// Deleted clauses whose lazily-invalidated index entries have not
+  /// been compacted away yet; drives maybeCompactIndexes().
+  size_t StaleDeleted = 0;
   SaturationStats Stats;
 };
 

@@ -118,6 +118,11 @@ public:
   const Precedence &precedence() const { return Prec; }
   Precedence &precedence() { return Prec; }
 
+  /// Drops the term-id-keyed weight memo. Must be called when the
+  /// underlying TermTable is reset() to a mark: rewinding reuses dense
+  /// term ids for different terms, which would alias stale weights.
+  void invalidateCache() { WeightCache.clear(); }
+
 private:
   Precedence Prec;
   uint64_t SymbolWeight;

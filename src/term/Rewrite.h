@@ -93,6 +93,14 @@ public:
     return normalize(A) == normalize(B);
   }
 
+  /// Removes every rule (and the normal-form memo), returning the
+  /// system to its freshly constructed state.
+  void clear() {
+    Rules.clear();
+    RuleByLhs.clear();
+    NormalFormCache.clear();
+  }
+
   const std::vector<RewriteRule> &rules() const { return Rules; }
   bool empty() const { return Rules.empty(); }
   size_t size() const { return Rules.size(); }

@@ -79,6 +79,20 @@ public:
   unsigned arity(Symbol S) const { return Entries.at(S.id()).Arity; }
   size_t size() const { return Entries.size(); }
 
+  /// Forgets every symbol with id >= \p NumSymbols, so a session can
+  /// rewind to a checkpoint taken with size(). Handles to dropped
+  /// symbols become invalid; re-interning a dropped name assigns a
+  /// fresh (dense) id again. The backing string storage is retained —
+  /// names are small and re-interning reuses them. nil (id 0) can
+  /// never be dropped.
+  void truncate(size_t NumSymbols) {
+    assert(NumSymbols >= 1 && "nil must survive truncation");
+    assert(NumSymbols <= Entries.size() && "cannot truncate upwards");
+    for (size_t Id = NumSymbols; Id != Entries.size(); ++Id)
+      Index.erase(Entries[Id].Name);
+    Entries.resize(NumSymbols);
+  }
+
 private:
   struct Entry {
     std::string_view Name;

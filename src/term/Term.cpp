@@ -42,6 +42,24 @@ const Term *TermTable::make(Symbol Sym, std::span<const Term *const> Args) {
   return T;
 }
 
+void TermTable::reset(const Mark &M) {
+  assert(M.NumTerms <= TermsById.size() && "marks must be reset LIFO");
+  // Drop the bucket entries of every term above the mark; collisions
+  // are resolved by pointer identity, so each erase is O(bucket).
+  for (size_t I = TermsById.size(); I-- > M.NumTerms;) {
+    const Term *T = TermsById[I];
+    auto [It, End] = Buckets.equal_range(T->hash());
+    for (; It != End; ++It)
+      if (It->second == T) {
+        Buckets.erase(It);
+        break;
+      }
+  }
+  TermsById.resize(M.NumTerms);
+  Storage.rewind(M.Storage);
+  Symbols.truncate(M.NumSymbols);
+}
+
 std::string TermTable::str(const Term *T) const {
   std::ostringstream OS;
   OS << Symbols.name(T->symbol());

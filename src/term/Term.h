@@ -60,12 +60,39 @@ private:
 };
 
 /// Interning factory and owner of all Term nodes of a problem.
+///
+/// Supports checkpoint/rewind: mark() captures the table state and
+/// reset(Mark) truncates the arena, the dense id vector, the hash
+/// buckets, and the owning SymbolTable back to that baseline. A prover
+/// session interns query-local terms on top of a persistent
+/// shared-prefix table and rewinds between queries instead of
+/// rebuilding a table from scratch (see core::ProverSession).
 class TermTable {
 public:
   explicit TermTable(SymbolTable &Symbols) : Symbols(Symbols) {}
 
   TermTable(const TermTable &) = delete;
   TermTable &operator=(const TermTable &) = delete;
+
+  /// A checkpoint of the table (and its symbol table). Marks must be
+  /// consumed LIFO, like Arena marks.
+  struct Mark {
+    size_t NumTerms = 0;
+    size_t NumSymbols = 0;
+    Arena::Mark Storage;
+  };
+
+  /// Captures the current table state for a later reset().
+  Mark mark() const {
+    return {TermsById.size(), Symbols.size(), Storage.mark()};
+  }
+
+  /// Truncates the table back to \p M: every term and symbol interned
+  /// after the mark is forgotten (pointers to them dangle), the arena
+  /// is rewound, and subsequent interning reassigns the same dense ids
+  /// deterministically. Callers holding term-id-keyed caches (e.g.
+  /// KBO's weight memo) must invalidate them.
+  void reset(const Mark &M);
 
   /// Returns the unique term \p Sym(\p Args...).
   const Term *make(Symbol Sym, std::span<const Term *const> Args = {});
@@ -89,6 +116,13 @@ public:
 
   SymbolTable &symbols() { return Symbols; }
   const SymbolTable &symbols() const { return Symbols; }
+
+  /// Payload bytes currently allocated in the backing arena.
+  size_t arenaBytes() const { return Storage.bytesAllocated(); }
+
+  /// Times the backing arena recycled a slab parked by reset() instead
+  /// of allocating a fresh one; the session-reuse win in one number.
+  uint64_t arenaSlabsReused() const { return Storage.slabsReused(); }
 
   /// Renders \p T as text, e.g. "f(a, nil)".
   std::string str(const Term *T) const;

@@ -1,0 +1,58 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared across test suites — currently the regression-corpus
+/// loader, so the upward path search lives in exactly one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_TESTS_TESTUTIL_H
+#define SLP_TESTS_TESTUTIL_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace slp {
+namespace test {
+
+/// Opens data/regression.slp. The test binaries run from arbitrary
+/// build directories, so search upward for the repository data file;
+/// the returned stream is unopened if none of the candidates exist.
+inline std::ifstream openRegressionCorpus() {
+  std::ifstream In;
+  for (const char *Path :
+       {"data/regression.slp", "../data/regression.slp",
+        "../../data/regression.slp", "../../../data/regression.slp",
+        "../../../../data/regression.slp"}) {
+    In.open(Path);
+    if (In)
+      break;
+    In.clear();
+  }
+  return In;
+}
+
+/// The corpus's query lines (blanks and comment-only lines dropped).
+inline std::vector<std::string> regressionQueryLines() {
+  std::vector<std::string> Queries;
+  std::ifstream In = openRegressionCorpus();
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t NonWs = Line.find_first_not_of(" \t\r");
+    if (NonWs == std::string::npos || Line[NonWs] == '#' ||
+        Line.substr(NonWs, 2) == "//")
+      continue;
+    Queries.push_back(Line);
+  }
+  return Queries;
+}
+
+} // namespace test
+} // namespace slp
+
+#endif // SLP_TESTS_TESTUTIL_H

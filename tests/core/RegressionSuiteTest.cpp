@@ -16,9 +16,10 @@
 #include "sl/Parser.h"
 #include "sl/Semantics.h"
 
+#include "../TestUtil.h"
+
 #include <gtest/gtest.h>
 
-#include <fstream>
 #include <sstream>
 
 using namespace slp;
@@ -33,18 +34,7 @@ struct RegressionCase {
 };
 
 std::vector<RegressionCase> loadCorpus() {
-  // The test binary runs from an arbitrary build directory; search
-  // upward for the repository's data file.
-  std::ifstream In;
-  for (const char *Path :
-       {"data/regression.slp", "../data/regression.slp",
-        "../../data/regression.slp", "../../../data/regression.slp",
-        "/root/repo/data/regression.slp"}) {
-    In.open(Path);
-    if (In)
-      break;
-    In.clear();
-  }
+  std::ifstream In = test::openRegressionCorpus();
   std::vector<RegressionCase> Cases;
   if (!In)
     return Cases;

@@ -23,10 +23,11 @@
 #include "symexec/Corpus.h"
 #include "symexec/SymbolicExec.h"
 
+#include "../TestUtil.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <fstream>
 
 using namespace slp;
 using namespace slp::sup;
@@ -300,30 +301,13 @@ core::Verdict proveBothWays(TermTable &Terms, const sl::Entailment &E,
 } // namespace
 
 TEST_F(IndexTest, RegressionCorpusVerdictsIdentical) {
-  std::ifstream In;
-  for (const char *Path :
-       {"data/regression.slp", "../data/regression.slp",
-        "../../data/regression.slp", "../../../data/regression.slp",
-        "/root/repo/data/regression.slp"}) {
-    In.open(Path);
-    if (In)
-      break;
-    In.clear();
-  }
-  ASSERT_TRUE(In) << "regression corpus not found";
-  std::string Line;
-  unsigned Checked = 0;
-  while (std::getline(In, Line)) {
-    size_t NonWs = Line.find_first_not_of(" \t\r");
-    if (NonWs == std::string::npos || Line[NonWs] == '#' ||
-        Line.substr(NonWs, 2) == "//")
-      continue;
+  std::vector<std::string> Corpus = test::regressionQueryLines();
+  ASSERT_GE(Corpus.size(), 40u) << "regression corpus not found";
+  for (const std::string &Line : Corpus) {
     sl::ParseResult P = sl::parseEntailment(Terms, Line);
     ASSERT_TRUE(P.ok()) << Line;
     proveBothWays(Terms, *P.Value, Line);
-    ++Checked;
   }
-  EXPECT_GE(Checked, 40u);
 }
 
 TEST_F(IndexTest, Table1DistributionVerdictsIdentical) {

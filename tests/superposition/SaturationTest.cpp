@@ -218,3 +218,94 @@ TEST_F(SaturationTest, NoSimplificationStillRefutes) {
   Fuel F;
   EXPECT_EQ(Bare.saturate(F), SatResult::Unsatisfiable);
 }
+
+//===----------------------------------------------------------------------===//
+// clear() lifecycle and index compaction
+//===----------------------------------------------------------------------===//
+
+TEST_F(SaturationTest, ClearRestoresFreshState) {
+  Sat.addInput({}, {Equation(T("a"), T("b"))});
+  Sat.addInput({Equation(T("a"), T("b"))}, {});
+  EXPECT_EQ(Sat.saturate(Unlimited), SatResult::Unsatisfiable);
+
+  Sat.clear();
+  EXPECT_EQ(Sat.numClauses(), 0u);
+  EXPECT_FALSE(Sat.hasEmptyClause());
+  EXPECT_EQ(Sat.stats().Derived, 0u);
+  Fuel F;
+  EXPECT_EQ(Sat.saturate(F), SatResult::Saturated);
+}
+
+TEST_F(SaturationTest, ClearedInstanceMatchesFreshInstance) {
+  // Run a satisfiable problem, clear, re-run a different problem, and
+  // compare the whole observable state against a never-used engine fed
+  // the same inputs.
+  Sat.addInput({}, {Equation(T("a"), T("b")), Equation(T("c"), T("d"))});
+  Sat.addInput({Equation(T("x"), T("y"))}, {});
+  Fuel F1;
+  (void)Sat.saturate(F1);
+  Sat.clear();
+
+  Saturation Fresh(Terms, Ord);
+  auto Feed = [&](Saturation &S) {
+    S.addInput({}, {Equation(T("p"), T("q"))});
+    S.addInput({}, {Equation(T("q"), T("r")), Equation(T("p"), T("r"))});
+    S.addInput({Equation(T("p"), T("r"))}, {});
+    Fuel F;
+    return S.saturate(F);
+  };
+  EXPECT_EQ(Feed(Sat), Feed(Fresh));
+  ASSERT_EQ(Sat.numClauses(), Fresh.numClauses());
+  for (uint32_t Id = 0; Id != Sat.numClauses(); ++Id) {
+    EXPECT_TRUE(Sat.entry(Id).C == Fresh.entry(Id).C) << "clause " << Id;
+    EXPECT_EQ(Sat.entry(Id).Deleted, Fresh.entry(Id).Deleted)
+        << "clause " << Id;
+  }
+  EXPECT_EQ(Sat.stats().Derived, Fresh.stats().Derived);
+  EXPECT_EQ(Sat.stats().Kept, Fresh.stats().Kept);
+  EXPECT_EQ(Sat.stats().SubsumedFwd, Fresh.stats().SubsumedFwd);
+  EXPECT_EQ(Sat.stats().SubsumedBwd, Fresh.stats().SubsumedBwd);
+}
+
+TEST_F(SaturationTest, CompactionPurgesStaleIndexEntriesAndIsNeutral) {
+  // Mass deletion: 100 active disjunctions a=b ∨ a=c_i are all
+  // backward-subsumed the moment the unit a=b arrives, leaving 100
+  // clauses' worth of lazily-invalidated index entries behind. The
+  // next given-clause step must sweep them (stale >> live), and the
+  // sweep must not change any outcome. A second engine compacted
+  // eagerly at every stage serves as the reference.
+  Saturation Eager(Terms, Ord);
+  auto Feed = [&](Saturation &S, bool CompactEagerly) {
+    for (int I = 0; I != 100; ++I)
+      S.addInput({}, {Equation(T("a"), T("b")),
+                      Equation(T("a"), T(("c" + std::to_string(I)).c_str()))});
+    Fuel F1;
+    EXPECT_EQ(S.saturate(F1), SatResult::Saturated); // Activate all.
+    if (CompactEagerly)
+      S.compactIndexes();
+    S.addInput({}, {Equation(T("a"), T("b"))}); // Deletes all 100.
+    if (CompactEagerly)
+      S.compactIndexes();
+    // The engine still refutes correctly after the sweep.
+    S.addInput({Equation(T("a"), T("b"))}, {});
+    Fuel F2;
+    return S.saturate(F2);
+  };
+  SatResult RLazy = Feed(Sat, /*CompactEagerly=*/false);
+  SatResult REager = Feed(Eager, /*CompactEagerly=*/true);
+
+  EXPECT_EQ(RLazy, SatResult::Unsatisfiable);
+  EXPECT_EQ(REager, SatResult::Unsatisfiable);
+  // The default engine hit the compaction threshold on its own and
+  // purged the stale entries (one fingerprint plus partner-index
+  // entries per deleted clause).
+  EXPECT_GT(Sat.stats().Compactions, 0u);
+  EXPECT_GE(Sat.stats().StalePurged, 100u);
+  // Identical verdict-relevant state despite different sweep timing.
+  ASSERT_EQ(Sat.numClauses(), Eager.numClauses());
+  for (uint32_t Id = 0; Id != Sat.numClauses(); ++Id) {
+    EXPECT_TRUE(Sat.entry(Id).C == Eager.entry(Id).C) << "clause " << Id;
+    EXPECT_EQ(Sat.entry(Id).Deleted, Eager.entry(Id).Deleted)
+        << "clause " << Id;
+  }
+}

@@ -74,6 +74,69 @@ TEST(Arena, ResetReleasesSlabs) {
   EXPECT_EQ(A.bytesAllocated(), 0u);
 }
 
+TEST(Arena, MarkAndRewindWithinOneSlab) {
+  Arena A;
+  char *Before = A.allocateArray<char>(16);
+  std::memset(Before, 1, 16);
+  Arena::Mark M = A.mark();
+  size_t Bytes = A.bytesAllocated();
+
+  (void)A.allocateArray<char>(100);
+  A.rewind(M);
+  EXPECT_EQ(A.bytesAllocated(), Bytes);
+  // Pre-mark allocations survive untouched.
+  for (int I = 0; I != 16; ++I)
+    ASSERT_EQ(Before[I], 1);
+  // The rewound region is handed out again.
+  char *Again = A.allocateArray<char>(100);
+  std::memset(Again, 2, 100);
+  EXPECT_EQ(A.bytesAllocated(), Bytes + 100);
+}
+
+TEST(Arena, RewindParksAndRecyclesSlabs) {
+  Arena A(/*SlabBytes=*/128);
+  Arena::Mark M = A.mark();
+  for (int I = 0; I != 20; ++I)
+    (void)A.allocateArray<char>(100);
+  size_t Grown = A.numSlabs();
+  EXPECT_GT(Grown, 1u);
+
+  A.rewind(M);
+  EXPECT_EQ(A.numSlabs(), 0u);
+  EXPECT_EQ(A.numFreeSlabs(), Grown);
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+
+  // Re-growing recycles the parked slabs instead of allocating.
+  for (int I = 0; I != 20; ++I)
+    (void)A.allocateArray<char>(100);
+  EXPECT_EQ(A.slabsReused(), Grown);
+  EXPECT_EQ(A.numFreeSlabs(), 0u);
+}
+
+TEST(Arena, RewindIsLifoAcrossNestedMarks) {
+  Arena A(/*SlabBytes=*/128);
+  (void)A.allocateArray<char>(64);
+  Arena::Mark Outer = A.mark();
+  (void)A.allocateArray<char>(200);
+  Arena::Mark Inner = A.mark();
+  (void)A.allocateArray<char>(200);
+
+  A.rewind(Inner);
+  A.rewind(Outer);
+  EXPECT_EQ(A.bytesAllocated(), 64u);
+}
+
+TEST(Arena, ResetReleasesParkedSlabsToo) {
+  Arena A(/*SlabBytes=*/128);
+  Arena::Mark M = A.mark();
+  (void)A.allocateArray<char>(1000);
+  A.rewind(M);
+  EXPECT_GT(A.numFreeSlabs(), 0u);
+  A.reset();
+  EXPECT_EQ(A.numFreeSlabs(), 0u);
+  EXPECT_EQ(A.numSlabs(), 0u);
+}
+
 TEST(StringInterner, ReturnsStableEqualViews) {
   StringInterner SI;
   std::string A = "hello";

@@ -13,8 +13,11 @@
 #ifndef SLP_TOOLS_CLIUTIL_H
 #define SLP_TOOLS_CLIUTIL_H
 
+#include "engine/BatchProver.h"
+
 #include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -36,6 +39,22 @@ inline bool parseUnsigned(const std::string &Text, uint64_t &Out) {
 /// Largest worker count the tools accept; far above any real machine,
 /// but keeps a typo from asking the OS for billions of threads.
 constexpr uint64_t MaxJobs = 4096;
+
+/// Prints the engine's phase and session-reuse counters to stderr —
+/// one implementation so every tool's --stats reports the same subset
+/// of BatchStats.
+inline void printEngineReuseStats(const engine::BatchStats &S) {
+  std::fprintf(stderr,
+               "phases (worker-seconds): parse %.3f, prove %.3f, "
+               "cache %.3f\n"
+               "sessions: %zu workers, %llu resets, %llu terms / "
+               "%llu arena bytes reclaimed, %llu slabs reused\n",
+               S.ParseSeconds, S.ProveSeconds, S.CacheSeconds, S.Sessions,
+               static_cast<unsigned long long>(S.SessionResets),
+               static_cast<unsigned long long>(S.TermsReclaimed),
+               static_cast<unsigned long long>(S.ArenaBytesReclaimed),
+               static_cast<unsigned long long>(S.ArenaSlabsReused));
+}
 
 } // namespace cli
 } // namespace slp

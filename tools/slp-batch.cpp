@@ -15,7 +15,10 @@
 ///     --stats         print batch statistics to stderr, including the
 ///                     saturation subsumption counters (clauses deleted
 ///                     forward/backward, candidate checks vs. the
-///                     full-scan equivalent)
+///                     full-scan equivalent), the per-phase wall clock
+///                     (parse / prove / cache), and the worker-session
+///                     reuse counters (rewinds, terms and arena bytes
+///                     reclaimed, slabs recycled)
 ///     --no-indexed-subsumption
 ///                     disable the feature-vector subsumption index
 ///                     (verdicts are identical; for measurement)
@@ -163,6 +166,7 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(S.SubsumedBwd),
                  static_cast<unsigned long long>(S.SubChecks),
                  static_cast<unsigned long long>(S.SubScanBaseline), Prune);
+    cli::printEngineReuseStats(S);
   }
   return Exit;
 }
