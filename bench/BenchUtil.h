@@ -47,6 +47,11 @@ struct BatchResult {
   /// full clause-database scan would have needed for the same queries.
   uint64_t SubsumedFwd = 0, SubsumedBwd = 0;
   uint64_t SubChecks = 0, SubScanBaseline = 0;
+  /// Model-guided saturation counters (SLP runs only): candidate-model
+  /// attempts, Gen positions skipped by incremental replay,
+  /// certification checks skipped, normal-form memo reuses.
+  uint64_t ModelAttempts = 0, GenReplayedFrom = 0;
+  uint64_t CertSkipped = 0, NfCacheReuse = 0;
 };
 
 /// Renders "12.34" or "12.34 (57%)" when some instances timed out,
@@ -106,6 +111,10 @@ inline BatchResult runSlp(TermTable &Terms,
   R.SubsumedBwd = Engine.stats().SubsumedBwd;
   R.SubChecks = Engine.stats().SubChecks;
   R.SubScanBaseline = Engine.stats().SubScanBaseline;
+  R.ModelAttempts = Engine.stats().ModelAttempts;
+  R.GenReplayedFrom = Engine.stats().GenReplayedFrom;
+  R.CertSkipped = Engine.stats().CertSkipped;
+  R.NfCacheReuse = Engine.stats().NfCacheReuse;
   if (Engine.stats().ParseErrors)
     std::fprintf(stderr,
                  "warning: %zu of %zu rendered entailments failed to "
@@ -113,6 +122,73 @@ inline BatchResult runSlp(TermTable &Terms,
                  Engine.stats().ParseErrors, Queries.size());
   return R;
 }
+
+/// Minimal streaming writer for the bench-trajectory JSON artifacts
+/// (BENCH_table1.json and friends): one top-level object holding run
+/// configuration scalars and a "rows" array of flat objects. Values
+/// are numbers only, so no string escaping is needed.
+class TrajectoryJson {
+public:
+  TrajectoryJson(const std::string &Path, const std::string &Bench)
+      : Out(std::fopen(Path.c_str(), "w")) {
+    if (Out)
+      std::fprintf(Out, "{\n  \"bench\": \"%s\"", Bench.c_str());
+  }
+
+  ~TrajectoryJson() {
+    if (!Out)
+      return;
+    if (InRows)
+      std::fprintf(Out, "\n  ]");
+    std::fprintf(Out, "\n}\n");
+    std::fclose(Out);
+  }
+
+  bool ok() const { return Out != nullptr; }
+
+  /// Adds a run-configuration scalar; only valid before the first row.
+  void config(const char *Key, uint64_t Value) {
+    if (Out)
+      std::fprintf(Out, ",\n  \"%s\": %llu", Key,
+                   static_cast<unsigned long long>(Value));
+  }
+
+  /// Starts the next row object.
+  void beginRow() {
+    if (!Out)
+      return;
+    std::fprintf(Out, InRows ? ",\n    {" : ",\n  \"rows\": [\n    {");
+    InRows = true;
+    FirstField = true;
+  }
+
+  void field(const char *Key, uint64_t Value) {
+    if (Out)
+      std::fprintf(Out, "%s\"%s\": %llu", sep(), Key,
+                   static_cast<unsigned long long>(Value));
+  }
+
+  void field(const char *Key, double Value) {
+    if (Out)
+      std::fprintf(Out, "%s\"%s\": %.6f", sep(), Key, Value);
+  }
+
+  void endRow() {
+    if (Out)
+      std::fprintf(Out, "}");
+  }
+
+private:
+  const char *sep() {
+    const char *S = FirstField ? "" : ", ";
+    FirstField = false;
+    return S;
+  }
+
+  std::FILE *Out;
+  bool InRows = false;
+  bool FirstField = true;
+};
 
 /// Runs the complete Berdine-style baseline over a batch.
 inline BatchResult runBerdine(TermTable &Terms,

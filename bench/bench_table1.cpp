@@ -18,21 +18,52 @@
 /// SLP_BENCH_INSTANCES=1000 for the paper's full batch size and
 /// SLP_BENCH_FUEL to change the per-instance budget.
 ///
+/// With `--json[=path]` the run additionally writes a machine-readable
+/// trajectory (per-row wall clock plus the model-attempt counters) to
+/// BENCH_table1.json, which CI uploads as an artifact so future
+/// changes have a perf baseline to diff against.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "gen/RandomEntailments.h"
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 
 using namespace slp;
 using namespace slp::bench;
 
-int main() {
+int main(int argc, char **argv) {
   const unsigned Instances =
       static_cast<unsigned>(envOr("SLP_BENCH_INSTANCES", 100));
   const uint64_t FuelBudget = envOr("SLP_BENCH_FUEL", 12000);
   const uint64_t Seed = envOr("SLP_BENCH_SEED", 1);
+
+  std::string JsonPath;
+  for (int I = 1; I != argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0) {
+      JsonPath = "BENCH_table1.json";
+    } else if (std::strncmp(argv[I], "--json=", 7) == 0) {
+      JsonPath = argv[I] + 7;
+    } else {
+      std::fprintf(stderr, "usage: bench_table1 [--json[=path]]\n");
+      return 2;
+    }
+  }
+  std::unique_ptr<TrajectoryJson> Json;
+  if (!JsonPath.empty()) {
+    Json = std::make_unique<TrajectoryJson>(JsonPath, "table1");
+    if (!Json->ok()) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    Json->config("instances", Instances);
+    Json->config("fuel", FuelBudget);
+    Json->config("seed", Seed);
+  }
 
   // Per-row (P_lseg, P_≠) exactly as printed in the paper's Table 1.
   struct Row {
@@ -54,6 +85,7 @@ int main() {
               "%Valid", "Greedy[jStar]", "Berdine[SF]", "SLP");
 
   uint64_t SubChecks = 0, SubScan = 0, SubFwd = 0, SubBwd = 0;
+  uint64_t ModelAttempts = 0, GenReplayed = 0, CertSkipped = 0, NfReuse = 0;
   for (const Row &R : Rows) {
     SymbolTable Symbols;
     TermTable Terms(Symbols);
@@ -77,6 +109,29 @@ int main() {
     SubScan += Slp.SubScanBaseline;
     SubFwd += Slp.SubsumedFwd;
     SubBwd += Slp.SubsumedBwd;
+    ModelAttempts += Slp.ModelAttempts;
+    GenReplayed += Slp.GenReplayedFrom;
+    CertSkipped += Slp.CertSkipped;
+    NfReuse += Slp.NfCacheReuse;
+
+    if (Json) {
+      Json->beginRow();
+      Json->field("vars", static_cast<uint64_t>(R.Vars));
+      Json->field("plseg", R.PLseg);
+      Json->field("pne", R.PNe);
+      Json->field("slp_seconds", Slp.Seconds);
+      Json->field("slp_solved", static_cast<uint64_t>(Slp.Solved));
+      Json->field("slp_valid", static_cast<uint64_t>(Slp.Valid));
+      Json->field("berdine_seconds", Berdine.Seconds);
+      Json->field("berdine_solved", static_cast<uint64_t>(Berdine.Solved));
+      Json->field("greedy_seconds", Greedy.Seconds);
+      Json->field("greedy_solved", static_cast<uint64_t>(Greedy.Solved));
+      Json->field("model_attempts", Slp.ModelAttempts);
+      Json->field("gen_replayed_from", Slp.GenReplayedFrom);
+      Json->field("cert_skipped", Slp.CertSkipped);
+      Json->field("nf_cache_reuse", Slp.NfCacheReuse);
+      Json->endRow();
+    }
   }
 
   std::printf("\nSLP subsumption index: %llu candidate checks vs %llu "
@@ -87,7 +142,16 @@ int main() {
               SubChecks ? static_cast<double>(SubScan) / SubChecks : 0.0,
               static_cast<unsigned long long>(SubFwd),
               static_cast<unsigned long long>(SubBwd));
+  std::printf("SLP model-guided saturation: %llu attempts, %llu gen "
+              "positions replay-skipped, %llu cert checks skipped, "
+              "%llu nf-cache reuses\n",
+              static_cast<unsigned long long>(ModelAttempts),
+              static_cast<unsigned long long>(GenReplayed),
+              static_cast<unsigned long long>(CertSkipped),
+              static_cast<unsigned long long>(NfReuse));
   std::printf("\nNote: the greedy prover is incomplete; its \"(N%%)\" counts "
               "proofs found,\nso it never reaches 100%% on mixed batches.\n");
+  if (Json)
+    std::fprintf(stderr, "wrote %s\n", JsonPath.c_str());
   return 0;
 }

@@ -89,6 +89,10 @@ ProveResult SlpProver::prove(const sl::Entailment &E, Fuel &F) {
     Result.Stats.SubsumedBwd = SS.SubsumedBwd;
     Result.Stats.SubChecks = SS.SubChecks;
     Result.Stats.SubScanBaseline = SS.SubScanBaseline;
+    Result.Stats.ModelAttempts = SS.ModelAttempts;
+    Result.Stats.GenReplayedFrom = SS.GenReplayedFrom;
+    Result.Stats.CertSkipped = SS.CertSkipped;
+    Result.Stats.NfCacheReuse = SS.NfCacheReuse;
     return Result;
   };
 

@@ -57,6 +57,14 @@ struct ProveStats {
   uint64_t SubsumedBwd = 0;     ///< Clauses deleted by backward subsumption.
   uint64_t SubChecks = 0;       ///< Subsumption pair tests performed.
   uint64_t SubScanBaseline = 0; ///< Tests a full-DB linear scan needs.
+  /// Model-guided saturation counters (see SaturationStats): candidate
+  /// model attempts, clause positions skipped by the incremental Gen
+  /// replay, certification checks vouched for by a previous attempt,
+  /// and normal-form memo entries reused across rule additions.
+  uint64_t ModelAttempts = 0;
+  uint64_t GenReplayedFrom = 0;
+  uint64_t CertSkipped = 0;
+  uint64_t NfCacheReuse = 0;
 };
 
 /// Everything prove() reports.

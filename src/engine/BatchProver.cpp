@@ -65,6 +65,10 @@ QueryResult BatchProver::proveOne(const ProofTask &Task,
   Out.SubsumedBwd = R.Stats.SubsumedBwd;
   Out.SubChecks = R.Stats.SubChecks;
   Out.SubScanBaseline = R.Stats.SubScanBaseline;
+  Out.ModelAttempts = R.Stats.ModelAttempts;
+  Out.GenReplayedFrom = R.Stats.GenReplayedFrom;
+  Out.CertSkipped = R.Stats.CertSkipped;
+  Out.NfCacheReuse = R.Stats.NfCacheReuse;
   if (Opts.CacheEnabled) {
     Phase.restart();
     Cache.insert(Q, R.V);
@@ -132,6 +136,10 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
     Stats.SubsumedBwd += R.SubsumedBwd;
     Stats.SubChecks += R.SubChecks;
     Stats.SubScanBaseline += R.SubScanBaseline;
+    Stats.ModelAttempts += R.ModelAttempts;
+    Stats.GenReplayedFrom += R.GenReplayedFrom;
+    Stats.CertSkipped += R.CertSkipped;
+    Stats.NfCacheReuse += R.NfCacheReuse;
     switch (R.V) {
     case core::Verdict::Valid:
       ++Stats.Valid;

@@ -64,6 +64,11 @@ struct QueryResult {
   /// Saturation subsumption counters (0 for cache hits/parse errors).
   uint64_t SubsumedFwd = 0, SubsumedBwd = 0;
   uint64_t SubChecks = 0, SubScanBaseline = 0;
+  /// Model-guided saturation counters (0 for cache hits/parse errors):
+  /// candidate-model attempts, Gen positions replay-skipped,
+  /// certification checks skipped, normal-form memo reuses.
+  uint64_t ModelAttempts = 0, GenReplayedFrom = 0;
+  uint64_t CertSkipped = 0, NfCacheReuse = 0;
   std::string Error;     ///< Parse diagnostic when Status == ParseError.
 
   /// Stable one-word rendering used by the tools' output.
@@ -85,6 +90,12 @@ struct BatchStats {
   /// have performed (SubChecks / SubScanBaseline = index pruning).
   uint64_t SubsumedFwd = 0, SubsumedBwd = 0;
   uint64_t SubChecks = 0, SubScanBaseline = 0;
+  /// Aggregated model-guided saturation counters over all proved
+  /// (non-cached) queries: candidate-model attempts, Gen positions
+  /// skipped by incremental replay, certification checks vouched for
+  /// by a previous attempt, and normal-form memo reuses.
+  uint64_t ModelAttempts = 0, GenReplayedFrom = 0;
+  uint64_t CertSkipped = 0, NfCacheReuse = 0;
   /// Per-phase wall clock, summed across workers (CPU-seconds; the
   /// sum can exceed Seconds when Jobs > 1): text parsing, proving
   /// (including the canonical rebuild), and cache lookups/inserts.

@@ -28,11 +28,20 @@ void Saturation::clear() {
   SubIdx.clear();
   NumLive = 0;
   Candidates.clear();
-  MaxLitCache.clear();
   SortedLitsCache.clear();
   FromByMax.clear();
   IntoBySubterm.clear();
   StaleDeleted = 0;
+  OrderedLive.clear();
+  LiveWatermark = ~size_t(0);
+  ModelSnapshotValid = false;
+  PrevLiveSize = 0;
+  RulesAfter.clear();
+  IncModel.clear();
+  PrevRules.clear();
+  CertEpoch = 1;
+  SatOkEpoch.clear();
+  ResidualOkEpoch.clear();
   Stats = SaturationStats();
 }
 
@@ -142,6 +151,8 @@ void Saturation::registerClause(uint32_t Id, const FeatureVector &FV) {
   if (indexed())
     SubIdx.insert(Id, FVById[Id]);
   ++NumLive;
+  if (Opts.IncrementalModel)
+    orderedLiveInsert(Id);
 }
 
 bool Saturation::isForwardSubsumed(const Clause &C, const FeatureVector &FV,
@@ -320,6 +331,8 @@ void Saturation::deleteClause(uint32_t Id) {
   ++StaleDeleted;
   if (indexed())
     SubIdx.erase(Id, FVById[Id]);
+  if (Opts.IncrementalModel)
+    orderedLiveErase(Id);
   auto It = DemodOwned.find(Id);
   if (It == DemodOwned.end())
     return;
@@ -391,8 +404,12 @@ SatResult Saturation::saturate(Fuel &F) {
 SatResult Saturation::saturateModelGuided(
     Fuel &F, std::optional<GroundRewriteSystem> &Model) {
   Model.reset();
-  // Model attempts cost O(clauses); on unsatisfiable sets they never
-  // succeed, so amortize them geometrically against inference steps.
+  // Incremental attempts replay Gen only from the first change since
+  // the last attempt and answer most normalizations from the warm
+  // memo (the remaining per-attempt work is cheap linear scans);
+  // from-scratch attempts re-sort and rebuild everything. On
+  // unsatisfiable sets attempts never succeed, so amortize them
+  // geometrically against inference steps.
   uint64_t StepsUntilAttempt = 0;
   uint64_t AttemptPeriod = 1;
   for (;;) {
@@ -401,17 +418,24 @@ SatResult Saturation::saturateModelGuided(
 
     if (StepsUntilAttempt == 0 || Passive.empty()) {
       // Attempt a certified model of everything stored so far.
-      std::vector<uint32_t> Ids = allStored();
-      GroundRewriteSystem R = genModelFrom(Ids);
-      if (modelCertified(R, Ids)) {
-        Model.emplace(std::move(R));
-        return SatResult::Saturated;
+      ++Stats.ModelAttempts;
+      bool Certified;
+      if (Opts.IncrementalModel) {
+        Certified = attemptModelIncremental(Model);
+      } else {
+        std::vector<uint32_t> Ids = allStored();
+        GroundRewriteSystem R = genModelFrom(Ids);
+        Certified = modelCertified(R, Ids);
+        if (Certified)
+          Model.emplace(std::move(R));
       }
+      if (Certified)
+        return SatResult::Saturated;
       if (Passive.empty()) {
         // Fully saturated, consistent, and still no certified model
         // would contradict Theorem 3.1 / Lemma 3.9.
         assert(false && "saturated consistent set must certify its model");
-        Model.emplace(std::move(R));
+        Model.emplace(genModelFrom(allStored()));
         return SatResult::Saturated;
       }
       AttemptPeriod = std::min<uint64_t>(AttemptPeriod * 2, 64);
@@ -423,6 +447,127 @@ SatResult Saturation::saturateModelGuided(
     stepGivenClause();
     --StepsUntilAttempt;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental model attempts
+//===----------------------------------------------------------------------===//
+
+bool Saturation::clauseOrderLess(uint32_t A, uint32_t B) const {
+  Order O = Ordering.compareSortedLiterals(sortedLits(A), sortedLits(B));
+  if (O != Order::Equal)
+    return O == Order::Less;
+  return A < B;
+}
+
+void Saturation::orderedLiveInsert(uint32_t Id) {
+  // Materialize the new clause's list first: a cache miss inside the
+  // comparator would grow the cache vector and dangle the other
+  // argument's reference (every already-live id is materialized).
+  (void)sortedLits(Id);
+  auto It = std::lower_bound(
+      OrderedLive.begin(), OrderedLive.end(), Id,
+      [this](uint32_t A, uint32_t B) { return clauseOrderLess(A, B); });
+  LiveWatermark = std::min(
+      LiveWatermark, static_cast<size_t>(It - OrderedLive.begin()));
+  OrderedLive.insert(It, Id);
+}
+
+void Saturation::orderedLiveErase(uint32_t Id) {
+  auto It = std::lower_bound(
+      OrderedLive.begin(), OrderedLive.end(), Id,
+      [this](uint32_t A, uint32_t B) { return clauseOrderLess(A, B); });
+  assert(It != OrderedLive.end() && *It == Id &&
+         "deleting a clause that is not in the ordered live set");
+  LiveWatermark = std::min(
+      LiveWatermark, static_cast<size_t>(It - OrderedLive.begin()));
+  OrderedLive.erase(It);
+}
+
+bool Saturation::attemptModelIncremental(
+    std::optional<GroundRewriteSystem> &Model) {
+  // The prefix of the ordered live sequence below the watermark is
+  // unchanged since the last snapshot, so Gen — whose state after i
+  // clauses is a function of exactly those clauses — replays
+  // identically on it. (LiveWatermark is ~0 when nothing changed; the
+  // clamp then covers the whole common length.)
+  size_t W = 0;
+  if (ModelSnapshotValid)
+    W = std::min({LiveWatermark, PrevLiveSize, OrderedLive.size()});
+  Stats.GenReplayedFrom += W;
+
+  // Keep the previous rule sequence for the epoch test, rewind the
+  // persistent system to the last unchanged decision, and re-run Gen
+  // from there. Memo entries computed under the kept rule prefix
+  // survive the truncation.
+  PrevRules.assign(IncModel.rules().begin(), IncModel.rules().end());
+  IncModel.truncateTo(W ? RulesAfter[W - 1] : 0);
+  RulesAfter.resize(OrderedLive.size());
+  for (size_t I = W; I != OrderedLive.size(); ++I) {
+    genStep(IncModel, OrderedLive[I]);
+    RulesAfter[I] = static_cast<uint32_t>(IncModel.size());
+  }
+  PrevLiveSize = OrderedLive.size();
+  LiveWatermark = ~size_t(0);
+  ModelSnapshotValid = true;
+
+  // Satisfaction and residual verdicts carry over from the previous
+  // attempt only if this attempt built the very same rule sequence.
+  if (IncModel.rules() != PrevRules)
+    ++CertEpoch;
+
+  if (SatOkEpoch.size() < DB.size())
+    SatOkEpoch.resize(DB.size(), 0);
+
+  bool Ok = true;
+  for (uint32_t Id : OrderedLive) {
+    if (SatOkEpoch[Id] == CertEpoch) {
+      ++Stats.CertSkipped;
+      continue;
+    }
+    if (!modelSatisfies(IncModel, DB[Id].C)) {
+      Ok = false;
+      break;
+    }
+    SatOkEpoch[Id] = CertEpoch;
+  }
+  // Lemma 3.1(2): the residual of each generating clause must be
+  // falsified by the *final* R (later edges can invalidate earlier
+  // production decisions on an unsaturated set, so re-check).
+  if (Ok) {
+    if (ResidualOkEpoch.size() < DB.size())
+      ResidualOkEpoch.resize(DB.size(), 0);
+    for (const RewriteRule &Rule : IncModel.rules()) {
+      const uint32_t GenId = Rule.GeneratingClause;
+      if (ResidualOkEpoch[GenId] == CertEpoch) {
+        ++Stats.CertSkipped;
+        continue;
+      }
+      const Clause &Gen = DB[GenId].C;
+      Equation Edge(Rule.Lhs, Rule.Rhs);
+      bool Falsified = true;
+      for (const Equation &E : Gen.neg())
+        Falsified &= IncModel.equivalent(E.lhs(), E.rhs());
+      for (const Equation &E : Gen.pos())
+        Falsified &= (E == Edge || !IncModel.equivalent(E.lhs(), E.rhs()));
+      if (!Falsified) {
+        Ok = false;
+        break;
+      }
+      ResidualOkEpoch[GenId] = CertEpoch;
+    }
+  }
+  Stats.NfCacheReuse = IncModel.cacheReuse();
+  if (!Ok)
+    return false;
+  // Hand out the rules only, not the (large) normal-form memo: the
+  // warm system must stay behind to seed the next attempt after the
+  // caller adds more clauses, and re-deriving the caller's normal
+  // forms is cheaper than duplicating the whole memo every success.
+  Model.emplace(Terms);
+  for (const RewriteRule &Rule : IncModel.rules())
+    Model->addRule(Rule.Lhs, Rule.Rhs, Rule.GeneratingClause);
+  return true;
 }
 
 void Saturation::stepGivenClause() {
@@ -560,40 +705,44 @@ void Saturation::generateInferences(uint32_t GivenId) {
 void Saturation::replacements(const Term *In, const Term *Find,
                               const Term *Repl,
                               std::vector<const Term *> &Out) {
-  if (In == Find)
-    Out.push_back(Repl);
-  for (unsigned I = 0; I != In->numArgs(); ++I) {
-    std::vector<const Term *> ArgOut;
-    replacements(In->arg(I), Find, Repl, ArgOut);
-    for (const Term *NewArg : ArgOut) {
-      std::vector<const Term *> Args(In->args().begin(), In->args().end());
-      Args[I] = NewArg;
-      Out.push_back(Terms.make(In->symbol(), Args));
+  // Pre-order walk over the occurrence positions of Find, with an
+  // explicit spine instead of recursion; each occurrence rebuilds the
+  // terms along its spine into the shared argument scratch buffer.
+  ReplPath.clear();
+  ReplPath.push_back({In, 0});
+  while (!ReplPath.empty()) {
+    ReplFrame &F = ReplPath.back();
+    if (F.NextArg == 0 && F.T == Find) {
+      const Term *New = Repl;
+      // For every spine node, NextArg - 1 is the argument currently on
+      // the path (it was advanced when its child frame was pushed).
+      for (size_t I = ReplPath.size() - 1; I-- > 0;) {
+        const Term *P = ReplPath[I].T;
+        ReplArgs.assign(P->args().begin(), P->args().end());
+        ReplArgs[ReplPath[I].NextArg - 1] = New;
+        New = Terms.make(P->symbol(), ReplArgs);
+      }
+      Out.push_back(New);
+      // No descent: Find cannot occur inside itself (proper subterms
+      // are distinct nodes of a DAG built bottom-up).
+      ReplPath.pop_back();
+      continue;
     }
+    if (F.NextArg < F.T->numArgs()) {
+      const Term *Child = F.T->arg(F.NextArg);
+      ++F.NextArg;
+      ReplPath.push_back({Child, 0});
+      continue;
+    }
+    ReplPath.pop_back();
   }
 }
 
-const OrientedLiteral &Saturation::maxLiteral(uint32_t Id) {
-  if (Id >= MaxLitCache.size())
-    MaxLitCache.resize(Id + 1);
-  std::optional<OrientedLiteral> &Slot = MaxLitCache[Id];
-  if (Slot)
-    return *Slot;
-  const Clause &C = DB[Id].C;
-  assert(!C.empty() && "the empty clause has no literals");
-  std::optional<OrientedLiteral> Best;
-  for (const Equation &E : C.neg()) {
-    OrientedLiteral L = Ordering.orient(E, /*Negative=*/true);
-    if (!Best || Ordering.compareLiterals(L, *Best) == Order::Greater)
-      Best = L;
-  }
-  for (const Equation &E : C.pos()) {
-    OrientedLiteral L = Ordering.orient(E, /*Negative=*/false);
-    if (!Best || Ordering.compareLiterals(L, *Best) == Order::Greater)
-      Best = L;
-  }
-  Slot = *Best;
-  return *Slot;
+OrientedLiteral Saturation::maxLiteral(uint32_t Id) const {
+  assert(!DB[Id].C.empty() && "the empty clause has no literals");
+  // The descending-sorted list is cached per clause id; its head is
+  // the unique maximal literal (one derivation serves both uses).
+  return sortedLits(Id).front();
 }
 
 void Saturation::superpose(uint32_t FromId, uint32_t IntoId) {
@@ -727,36 +876,33 @@ Saturation::genModelFrom(std::vector<uint32_t> Ids) const {
   // would grow the cache vector and dangle the other argument.
   for (uint32_t Id : Ids)
     (void)sortedLits(Id);
-  std::sort(Ids.begin(), Ids.end(), [this](uint32_t A, uint32_t B) {
-    Order O = Ordering.compareSortedLiterals(sortedLits(A), sortedLits(B));
-    if (O != Order::Equal)
-      return O == Order::Less;
-    return A < B;
-  });
+  std::sort(Ids.begin(), Ids.end(),
+            [this](uint32_t A, uint32_t B) { return clauseOrderLess(A, B); });
 
-  for (uint32_t Id : Ids) {
-    const Clause &C = DB[Id].C;
-    // Only the greatest literal can be strictly maximal, and it is iff
-    // it strictly exceeds the runner-up; canonical clauses carry no
-    // duplicate literals, so the comparison below is never Equal.
-    const std::vector<OrientedLiteral> &Lits = sortedLits(Id);
-    if (Lits.empty())
-      continue;
-    const OrientedLiteral &L = Lits.front();
-    if (L.Negative || L.Max == L.Min)
-      continue;
-    if (Lits.size() > 1 &&
-        Ordering.compareLiterals(Lits[1], L) != Order::Less)
-      continue;
-    // Productive only if the clause is false so far and the left-hand
-    // side is irreducible.
-    if (R.normalize(L.Max) != L.Max)
-      continue;
-    if (modelSatisfies(R, C))
-      continue;
-    R.addRule(L.Max, L.Min, Id);
-  }
+  for (uint32_t Id : Ids)
+    genStep(R, Id);
   return R;
+}
+
+void Saturation::genStep(GroundRewriteSystem &R, uint32_t Id) const {
+  // Only the greatest literal can be strictly maximal, and it is iff
+  // it strictly exceeds the runner-up; canonical clauses carry no
+  // duplicate literals, so the comparison below is never Equal.
+  const std::vector<OrientedLiteral> &Lits = sortedLits(Id);
+  if (Lits.empty())
+    return;
+  const OrientedLiteral &L = Lits.front();
+  if (L.Negative || L.Max == L.Min)
+    return;
+  if (Lits.size() > 1 && Ordering.compareLiterals(Lits[1], L) != Order::Less)
+    return;
+  // Productive only if the clause is false so far and the left-hand
+  // side is irreducible.
+  if (R.normalize(L.Max) != L.Max)
+    return;
+  if (modelSatisfies(R, DB[Id].C))
+    return;
+  R.addRule(L.Max, L.Min, Id);
 }
 
 bool Saturation::modelCertified(const GroundRewriteSystem &R,

@@ -52,6 +52,15 @@ struct SaturationOptions {
   /// paths find the same subsumers/subsumed, the index merely prunes
   /// the candidates that are tested.
   bool IndexedSubsumption = true;
+  /// Make the model attempts of saturateModelGuided() incremental:
+  /// the live clauses are kept persistently in Bachmair-Ganzinger
+  /// clause order, Gen is replayed from the first position where that
+  /// order changed since the previous attempt, and certification
+  /// re-checks only what the previous attempt could not vouch for.
+  /// Bit-identical to the from-scratch attempts (same R, same g, same
+  /// verdicts and countermodels); off reverts to sort-and-rebuild per
+  /// attempt, for measurement.
+  bool IncrementalModel = true;
 };
 
 /// Aggregate inference counters, exposed for the benchmark harnesses.
@@ -78,6 +87,21 @@ struct SaturationStats {
   /// early exit a linear forward scan takes on a hit, so linear-mode
   /// runs also report a (small) pruning factor from their early exits.
   uint64_t SubScanBaseline = 0;
+  /// Candidate-model attempts made by saturateModelGuided().
+  uint64_t ModelAttempts = 0;
+  /// Clause positions the incremental attempts did NOT re-run Gen on —
+  /// the sum over attempts of the replay watermark. Against
+  /// ModelAttempts × live-clause-count, this is the fraction of the
+  /// Bachmair-Ganzinger construction amortized away.
+  uint64_t GenReplayedFrom = 0;
+  /// Certification checks (clause satisfaction and Lemma 3.1(2)
+  /// residuals) skipped because the previous attempt already verified
+  /// them against the same rule sequence.
+  uint64_t CertSkipped = 0;
+  /// normalize() calls that resumed from a normal-form memo entry
+  /// computed under fewer rules — work the pre-watermark cache would
+  /// have redone from scratch after every addRule.
+  uint64_t NfCacheReuse = 0;
 };
 
 /// Incremental ground superposition engine.
@@ -85,7 +109,8 @@ class Saturation {
 public:
   Saturation(TermTable &Terms, const TermOrder &Ord,
              SaturationOptions Opts = {})
-      : Terms(Terms), Ordering(Ord), Opts(Opts), Demod(Terms) {}
+      : Terms(Terms), Ordering(Ord), Opts(Opts), Demod(Terms),
+        IncModel(Terms) {}
 
   Saturation(const Saturation &) = delete;
   Saturation &operator=(const Saturation &) = delete;
@@ -186,8 +211,11 @@ private:
   /// The unique maximal literal of a (canonical, nonempty) clause.
   /// With a total literal order and deduplicated literals there is
   /// exactly one, so every ordering side condition of the calculus
-  /// reduces to a comparison against it; cached per clause id.
-  const OrientedLiteral &maxLiteral(uint32_t Id);
+  /// reduces to a comparison against it. Derived from the cached
+  /// sorted-literal list (its front), so each clause's literals are
+  /// oriented and ordered exactly once; returned by value because
+  /// cache growth relocates the list storage.
+  OrientedLiteral maxLiteral(uint32_t Id) const;
 
   /// Descending-sorted literals of a clause, cached per clause id.
   const std::vector<OrientedLiteral> &sortedLits(uint32_t Id) const;
@@ -252,10 +280,33 @@ private:
   /// Gen over an explicit clause set (ascending clause order).
   GroundRewriteSystem genModelFrom(std::vector<uint32_t> Ids) const;
 
+  /// One Gen decision: lets clause \p Id produce its edge into \p R if
+  /// it is productive (false so far, strictly maximal positive
+  /// literal, irreducible left-hand side). Shared by the from-scratch
+  /// construction and the incremental replay.
+  void genStep(GroundRewriteSystem &R, uint32_t Id) const;
+
   /// True iff \p R satisfies every clause in \p Ids and every edge's
   /// generating-clause residual is falsified (Lemma 3.1(2)).
   bool modelCertified(const GroundRewriteSystem &R,
                       const std::vector<uint32_t> &Ids) const;
+
+  /// One incremental model attempt: replays Gen on the persistently
+  /// ordered live set from the first change since the previous
+  /// attempt, certifies incrementally, and on success copies the model
+  /// out. Returns true iff the model certified.
+  bool attemptModelIncremental(std::optional<GroundRewriteSystem> &Model);
+
+  /// The Bachmair-Ganzinger clause order on clause ids
+  /// (compareSortedLiterals, ties by id) — the single definition used
+  /// by the ordered live set and the model-generation sort, which must
+  /// never diverge.
+  bool clauseOrderLess(uint32_t A, uint32_t B) const;
+
+  /// Inserts a newly live clause into / removes a deleted clause from
+  /// OrderedLive, advancing the change watermark.
+  void orderedLiveInsert(uint32_t Id);
+  void orderedLiveErase(uint32_t Id);
 
   /// Registers an active unit equation as a demodulator.
   void maybeAddDemodulator(uint32_t Id);
@@ -299,13 +350,21 @@ private:
   size_t NumLive = 0;
   /// Scratch buffer for index retrievals.
   std::vector<uint32_t> Candidates;
-  /// Memoized maximal literal per clause id (clauses are immutable).
-  std::vector<std::optional<OrientedLiteral>> MaxLitCache;
-  /// Memoized descending-sorted literal list per clause id; the
-  /// model-generation pass sorts the whole database on every attempt,
-  /// so re-deriving these per comparison dominates its cost otherwise.
+  /// Memoized descending-sorted literal list per clause id (clauses
+  /// are immutable): the single source of literal orientation and
+  /// order — maxLiteral() reads its front, the ordered live set and
+  /// the model-generation sort compare whole lists.
   mutable std::vector<std::optional<std::vector<OrientedLiteral>>>
       SortedLitsCache;
+  /// Scratch for replacements(): the explicit occurrence walk and the
+  /// argument buffer used to rebuild terms along the spine, reused
+  /// across calls instead of allocating per argument position.
+  struct ReplFrame {
+    const Term *T;
+    unsigned NextArg;
+  };
+  std::vector<ReplFrame> ReplPath;
+  std::vector<const Term *> ReplArgs;
   /// Inference partner indexes over *active* clauses: a superposition
   /// between F (from) and G (into) exists only when F's maximal term
   /// occurs inside G's maximal term, so partners are found by term id
@@ -318,6 +377,47 @@ private:
   /// Deleted clauses whose lazily-invalidated index entries have not
   /// been compacted away yet; drives maybeCompactIndexes().
   size_t StaleDeleted = 0;
+
+  //===--- Incremental model-attempt state (Opts.IncrementalModel) ---===//
+  // An attempt used to re-sort all stored clauses, replay Gen from an
+  // empty system, and re-certify everything, although consecutive
+  // attempts differ by a handful of clauses. Instead the live set is
+  // kept in Bachmair-Ganzinger clause order at all times, and each
+  // attempt pays only from the first position where that order changed.
+
+  /// Live clause ids, maintained in ascending clause order (the order
+  /// genModelFrom would sort into: compareSortedLiterals, ties by id).
+  std::vector<uint32_t> OrderedLive;
+  /// Smallest OrderedLive index touched by an insertion or deletion
+  /// since the last attempt snapshot; the prefix below it is
+  /// guaranteed unchanged. ~size_t(0) = untouched.
+  size_t LiveWatermark = ~size_t(0);
+  /// Whether PrevLiveSize/RulesAfter describe a completed attempt.
+  bool ModelSnapshotValid = false;
+  /// Length of the ordered live sequence at the last attempt; clamps
+  /// the watermark (the prefix below it is content-identical by the
+  /// watermark maintenance, so only the length needs snapshotting).
+  size_t PrevLiveSize = 0;
+  /// RulesAfter[i] = |rules| after Gen processed position i of the
+  /// last attempt's sequence — the truncateTo() watermark for
+  /// replaying from position i+1.
+  std::vector<uint32_t> RulesAfter;
+  /// The persistent candidate model, truncated and replayed per
+  /// attempt; its warm normal-form memo is most of the win.
+  GroundRewriteSystem IncModel;
+  /// Rule sequence of the previous attempt, for the epoch test.
+  std::vector<RewriteRule> PrevRules;
+  /// Certification epoch: bumped whenever an attempt ends with a
+  /// different rule sequence than its predecessor. Satisfaction and
+  /// residual verdicts only carry over between attempts with the
+  /// *same* final R, i.e. the same epoch.
+  uint64_t CertEpoch = 1;
+  /// Per clause id: epoch at which modelSatisfies was last verified.
+  std::vector<uint64_t> SatOkEpoch;
+  /// Per generating-clause id: epoch at which the Lemma 3.1(2)
+  /// residual check of its edge last passed.
+  std::vector<uint64_t> ResidualOkEpoch;
+
   SaturationStats Stats;
 };
 

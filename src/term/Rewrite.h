@@ -12,6 +12,20 @@
 /// left-reduced and strictly ordering-decreasing, so the system is
 /// convergent and normal forms are unique.
 ///
+/// The normal-form memo is *rule-count watermarked*: every entry
+/// records how many rules existed when it was computed. Growing the
+/// system (addRule) therefore no longer invalidates the cache — a
+/// stale entry is still a valid reduct of its key (it was reached
+/// using a prefix of the current rules), so a lookup resumes
+/// normalization from it instead of starting over. This is what makes
+/// the saturation engine's incremental model attempts cheap: one
+/// persistent system is truncated to the last unchanged Gen decision
+/// and replayed, and almost every normalize() during certification
+/// hits warm prefix-valid entries. Resuming from a reduct is sound
+/// exactly because the systems built here are convergent; arbitrary
+/// mid-sequence removal (removeRuleFor) breaks the prefix discipline
+/// and still clears the memo wholesale.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLP_TERM_REWRITE_H
@@ -32,6 +46,11 @@ struct RewriteRule {
   /// Id of the clause in the saturated set that produced this edge
   /// (meaningful only for systems built by Gen).
   uint32_t GeneratingClause;
+
+  friend bool operator==(const RewriteRule &A, const RewriteRule &B) {
+    return A.Lhs == B.Lhs && A.Rhs == B.Rhs &&
+           A.GeneratingClause == B.GeneratingClause;
+  }
 };
 
 /// A convergent ground rewrite system over interned terms.
@@ -40,19 +59,21 @@ public:
   explicit GroundRewriteSystem(TermTable &Terms) : Terms(Terms) {}
 
   /// Adds Lhs ⇒ Rhs. At most one rule per left-hand side is allowed
-  /// (left-reducedness), which Gen guarantees by construction.
+  /// (left-reducedness), which Gen guarantees by construction. The
+  /// normal-form memo survives: existing entries are repaired lazily
+  /// on lookup (see the file comment).
   void addRule(const Term *Lhs, const Term *Rhs,
                uint32_t GeneratingClause = ~0u) {
     assert(!RuleByLhs.count(Lhs->id()) && "duplicate left-hand side");
     RuleByLhs.emplace(Lhs->id(), Rules.size());
     Rules.push_back({Lhs, Rhs, GeneratingClause});
-    NormalFormCache.clear();
   }
 
   /// Removes the rule with left-hand side \p Lhs, if any. Needed by
   /// the saturation engine: when a demodulator clause is deleted, its
   /// rule must stop firing or circular simplification could erase
-  /// facts from the clause set.
+  /// facts from the clause set. Removing a mid-sequence rule breaks
+  /// the watermark discipline, so the whole memo is dropped.
   void removeRuleFor(const Term *Lhs) {
     auto It = RuleByLhs.find(Lhs->id());
     if (It == RuleByLhs.end())
@@ -65,6 +86,33 @@ public:
     }
     Rules.pop_back();
     NormalFormCache.clear();
+    CacheJournal.clear();
+  }
+
+  /// Rewinds the system to its first \p Mark rules, undoing every
+  /// addRule after that point. Memo entries computed before the
+  /// watermark survive (they only ever saw kept rules); later ones are
+  /// dropped — located through the store journal, so the cost is
+  /// proportional to what is dropped, not to the memo size. This is
+  /// the saturation engine's replay primitive: Gen is rewound to the
+  /// last position where the ordered clause sequence changed and
+  /// re-run only from there.
+  void truncateTo(size_t Mark) {
+    assert(Mark <= Rules.size() && "watermark past the rule sequence");
+    if (Mark == Rules.size())
+      return;
+    for (size_t I = Mark; I != Rules.size(); ++I)
+      RuleByLhs.erase(Rules[I].Lhs->id());
+    Rules.resize(Mark);
+    const uint32_t Count = static_cast<uint32_t>(Mark);
+    // Stores are journaled in nondecreasing rule-count order between
+    // truncations, so everything past the watermark is a suffix. A key
+    // re-stored at several counts is erased wholesale when its newest
+    // record pops — over-dropping a still-valid older memo is safe.
+    while (!CacheJournal.empty() && CacheJournal.back().second > Count) {
+      NormalFormCache.erase(CacheJournal.back().first);
+      CacheJournal.pop_back();
+    }
   }
 
   /// True if some rule rewrites \p T at the root.
@@ -99,7 +147,14 @@ public:
     Rules.clear();
     RuleByLhs.clear();
     NormalFormCache.clear();
+    CacheJournal.clear();
+    CacheRepairs = 0;
   }
+
+  /// Times a normalize() resumed from a memo entry computed under
+  /// fewer rules — each one is a lookup the pre-watermark design would
+  /// have recomputed from scratch.
+  uint64_t cacheReuse() const { return CacheRepairs; }
 
   const std::vector<RewriteRule> &rules() const { return Rules; }
   bool empty() const { return Rules.empty(); }
@@ -108,10 +163,38 @@ public:
   TermTable &terms() const { return Terms; }
 
 private:
+  /// A memoized normal form, valid relative to the first RuleCount
+  /// rules of the current sequence.
+  struct CacheEntry {
+    const Term *NF;
+    uint32_t RuleCount;
+  };
+
+  /// One node of the explicit normalization worklist (ground SL list
+  /// terms nest deeply; recursion would risk stack overflow).
+  struct NormFrame {
+    const Term *Orig;  ///< Term whose normal form this frame computes.
+    const Term *Cur;   ///< Current reduct of Orig.
+    unsigned ArgIdx;   ///< Next argument of Cur to normalize.
+    uint32_t ArgsBase; ///< Start of this frame's args in ArgScratch.
+    bool ArgsChanged;  ///< Some argument changed; Cur must be rebuilt.
+  };
+
   TermTable &Terms;
   std::vector<RewriteRule> Rules;
   std::unordered_map<uint32_t, size_t> RuleByLhs;
-  mutable std::unordered_map<uint32_t, const Term *> NormalFormCache;
+  mutable std::unordered_map<uint32_t, CacheEntry> NormalFormCache;
+  /// (term id, rule count) of every memo store made under at least one
+  /// rule, in store order; counts are nondecreasing between
+  /// truncations, so truncateTo drops exactly a suffix. Count-0 stores
+  /// are never dropped and are not journaled.
+  mutable std::vector<std::pair<uint32_t, uint32_t>> CacheJournal;
+  mutable uint64_t CacheRepairs = 0;
+  /// Reusable worklist storage for normalize()/normalizeTracked(); a
+  /// per-level std::vector would otherwise be allocated at every
+  /// nesting depth.
+  mutable std::vector<NormFrame> FrameScratch;
+  mutable std::vector<const Term *> ArgScratch;
 };
 
 } // namespace slp

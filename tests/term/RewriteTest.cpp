@@ -89,6 +89,79 @@ TEST_F(RewriteTest, CacheInvalidatedByNewRules) {
   EXPECT_EQ(R.normalize(C), A); // Must see the new rule.
 }
 
+TEST_F(RewriteTest, CacheRepairAcrossAddRuleIsCounted) {
+  GroundRewriteSystem R(Terms);
+  const Term *A = Terms.constant("a");
+  const Term *B = Terms.constant("b");
+  const Term *C = Terms.constant("c");
+  R.addRule(C, B, 1);
+  EXPECT_EQ(R.normalize(C), B); // Memoized under one rule.
+  EXPECT_EQ(R.cacheReuse(), 0u);
+  R.addRule(B, A, 2);
+  // The stale entry is a valid reduct: normalization resumes from it
+  // instead of recomputing, and still sees the new rule.
+  EXPECT_EQ(R.normalize(C), A);
+  EXPECT_GT(R.cacheReuse(), 0u);
+}
+
+TEST_F(RewriteTest, TruncateToRewindsRulesAndMemo) {
+  GroundRewriteSystem R(Terms);
+  const Term *A = Terms.constant("a");
+  const Term *B = Terms.constant("b");
+  const Term *C = Terms.constant("c");
+  const Term *D = Terms.constant("d");
+  R.addRule(D, C, 1);
+  R.addRule(C, B, 2);
+  R.addRule(B, A, 3);
+  EXPECT_EQ(R.normalize(D), A); // Warm the memo under three rules.
+
+  R.truncateTo(1);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_TRUE((R.rules()[0] == RewriteRule{D, C, 1}));
+  EXPECT_EQ(R.ruleFor(C), nullptr);
+  EXPECT_EQ(R.ruleFor(B), nullptr);
+  // Post-watermark memo entries are gone; the rewound system behaves
+  // like one that only ever saw the kept prefix.
+  EXPECT_EQ(R.normalize(D), C);
+  EXPECT_EQ(R.normalize(C), C);
+  EXPECT_EQ(R.normalize(B), B);
+
+  // Replaying different rules after the rewind works.
+  R.addRule(C, A, 4);
+  EXPECT_EQ(R.normalize(D), A);
+  ASSERT_NE(R.ruleFor(C), nullptr);
+  EXPECT_EQ(R.ruleFor(C)->Rhs, A);
+
+  R.truncateTo(0);
+  EXPECT_TRUE(R.empty());
+  EXPECT_EQ(R.normalize(D), D);
+}
+
+TEST_F(RewriteTest, DeepNestingNormalizesIteratively) {
+  // A list-shaped term nested 100k deep: the explicit worklist must
+  // handle what per-level recursion frames could not (stack overflow).
+  GroundRewriteSystem R(Terms);
+  Symbol F = Symbols.intern("f", 1);
+  const Term *A = Terms.constant("a");
+  const Term *B = Terms.constant("b");
+  R.addRule(A, B, 7);
+  const unsigned Depth = 100000;
+  const Term *DeepA = A;
+  const Term *DeepB = B;
+  for (unsigned I = 0; I != Depth; ++I) {
+    DeepA = Terms.make(F, std::vector<const Term *>{DeepA});
+    DeepB = Terms.make(F, std::vector<const Term *>{DeepB});
+  }
+  EXPECT_EQ(R.normalize(DeepA), DeepB);
+  // Tracked variant: one rule application, deep in the term.
+  std::vector<const RewriteRule *> Used;
+  EXPECT_EQ(R.normalizeTracked(DeepA, Used), DeepB);
+  ASSERT_EQ(Used.size(), 1u);
+  EXPECT_EQ(Used[0]->GeneratingClause, 7u);
+  // And the memoized path answers the repeat immediately.
+  EXPECT_EQ(R.normalize(DeepA), DeepB);
+}
+
 TEST_F(RewriteTest, RuleLookup) {
   GroundRewriteSystem R(Terms);
   const Term *A = Terms.constant("a");

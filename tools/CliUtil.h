@@ -40,6 +40,21 @@ inline bool parseUnsigned(const std::string &Text, uint64_t &Out) {
 /// but keeps a typo from asking the OS for billions of threads.
 constexpr uint64_t MaxJobs = 4096;
 
+/// Prints the model-guided saturation counters to stderr — one
+/// implementation so every tool's --stats reports them identically.
+inline void printModelGuidedStats(const engine::BatchStats &S,
+                                  bool Incremental) {
+  std::fprintf(stderr,
+               "model-guided (%s): %llu attempts, %llu gen positions "
+               "replay-skipped, %llu cert checks skipped, %llu nf-cache "
+               "reuses\n",
+               Incremental ? "incremental" : "from-scratch",
+               static_cast<unsigned long long>(S.ModelAttempts),
+               static_cast<unsigned long long>(S.GenReplayedFrom),
+               static_cast<unsigned long long>(S.CertSkipped),
+               static_cast<unsigned long long>(S.NfCacheReuse));
+}
+
 /// Prints the engine's phase and session-reuse counters to stderr —
 /// one implementation so every tool's --stats reports the same subset
 /// of BatchStats.

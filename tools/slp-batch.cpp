@@ -15,12 +15,19 @@
 ///     --stats         print batch statistics to stderr, including the
 ///                     saturation subsumption counters (clauses deleted
 ///                     forward/backward, candidate checks vs. the
-///                     full-scan equivalent), the per-phase wall clock
-///                     (parse / prove / cache), and the worker-session
-///                     reuse counters (rewinds, terms and arena bytes
-///                     reclaimed, slabs recycled)
+///                     full-scan equivalent), the model-guided
+///                     saturation counters (attempts, Gen positions
+///                     replay-skipped, certification checks skipped,
+///                     normal-form memo reuses), the per-phase wall
+///                     clock (parse / prove / cache), and the
+///                     worker-session reuse counters (rewinds, terms
+///                     and arena bytes reclaimed, slabs recycled)
 ///     --no-indexed-subsumption
 ///                     disable the feature-vector subsumption index
+///                     (verdicts are identical; for measurement)
+///     --no-incremental-model
+///                     rebuild every candidate model from scratch
+///                     instead of replaying from the last change
 ///                     (verdicts are identical; for measurement)
 ///
 /// Verdicts go to stdout in input order, one `[i] query / verdict`
@@ -47,7 +54,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: slp-batch [--jobs=N] [--cache=on|off] [--fuel=N] "
-               "[--stats] [--no-indexed-subsumption] [file]\n";
+               "[--stats] [--no-indexed-subsumption] "
+               "[--no-incremental-model] [file]\n";
   return 2;
 }
 
@@ -84,6 +92,8 @@ int main(int argc, char **argv) {
       Stats = true;
     } else if (Arg == "--no-indexed-subsumption") {
       Opts.Prover.Sat.IndexedSubsumption = false;
+    } else if (Arg == "--no-incremental-model") {
+      Opts.Prover.Sat.IncrementalModel = false;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "slp-batch: unknown option '" << Arg << "'\n";
       return usage();
@@ -166,6 +176,7 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(S.SubsumedBwd),
                  static_cast<unsigned long long>(S.SubChecks),
                  static_cast<unsigned long long>(S.SubScanBaseline), Prune);
+    cli::printModelGuidedStats(S, Opts.Prover.Sat.IncrementalModel);
     cli::printEngineReuseStats(S);
   }
   return Exit;

@@ -21,6 +21,10 @@
 ///     --stats         print engine statistics to stderr
 ///     --no-indexed-subsumption
 ///                     disable the feature-vector subsumption index
+///     --no-incremental-model
+///                     rebuild candidate models from scratch per
+///                     attempt instead of replaying from the last
+///                     change
 ///
 /// Per-program summaries go to stdout (`name: K VCs, K valid`); the
 /// exit status is 0 iff every VC was proved valid.
@@ -45,7 +49,7 @@ namespace {
 int usage() {
   std::cerr << "usage: slp-verify [--jobs=N] [--cache=on|off] [--fuel=N] "
                "[--program=NAME] [--list] [--vcs] [--stats] "
-               "[--no-indexed-subsumption]\n";
+               "[--no-indexed-subsumption] [--no-incremental-model]\n";
   return 2;
 }
 
@@ -89,6 +93,8 @@ int main(int argc, char **argv) {
       Stats = true;
     } else if (Arg == "--no-indexed-subsumption") {
       Opts.Prover.Sat.IndexedSubsumption = false;
+    } else if (Arg == "--no-incremental-model") {
+      Opts.Prover.Sat.IncrementalModel = false;
     } else {
       std::cerr << "slp-verify: unknown option '" << Arg << "'\n";
       return usage();
@@ -164,6 +170,7 @@ int main(int argc, char **argv) {
                  engine::ThreadPool::resolveJobs(Opts.Jobs),
                  Opts.CacheEnabled ? "on" : "off",
                  static_cast<unsigned long long>(S.CacheHits));
+    cli::printModelGuidedStats(S, Opts.Prover.Sat.IncrementalModel);
     cli::printEngineReuseStats(S);
   }
   return Discharged == TotalVCs ? 0 : 1;

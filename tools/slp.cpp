@@ -26,6 +26,10 @@
 ///                   answer subsumption queries by scanning the clause
 ///                   database instead of the feature-vector index
 ///                   (verdicts are identical; for measurement)
+///     --no-incremental-model
+///                   rebuild every candidate model from scratch
+///                   instead of replaying from the last change
+///                   (verdicts are identical; for measurement)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,6 +66,7 @@ struct CliOptions {
   unsigned Jobs = 1;       // > 1 or 0 routes through the batch engine.
   bool JobsGiven = false;
   bool IndexedSubsumption = true;
+  bool IncrementalModel = true;
   std::string File; // Empty = stdin.
 };
 
@@ -69,7 +74,8 @@ int usage() {
   std::cerr << "usage: slp [--proof] [--model] [--check-proof] "
                "[--dot-proof] [--dot-model] [--stats] "
                "[--prover=slp|berdine|greedy] [--fuel=N] [--jobs=N] "
-               "[--no-indexed-subsumption] [file]\n";
+               "[--no-indexed-subsumption] [--no-incremental-model] "
+               "[file]\n";
   return 2;
 }
 
@@ -98,6 +104,8 @@ int main(int argc, char **argv) {
       Opts.Stats = true;
     else if (Arg == "--no-indexed-subsumption")
       Opts.IndexedSubsumption = false;
+    else if (Arg == "--no-incremental-model")
+      Opts.IncrementalModel = false;
     else if (Arg.rfind("--prover=", 0) == 0)
       Opts.Prover = Arg.substr(9);
     else if (Arg.rfind("--fuel=", 0) == 0) {
@@ -168,6 +176,7 @@ int main(int argc, char **argv) {
     EngineOpts.Jobs = Opts.Jobs;
     EngineOpts.FuelPerQuery = Opts.FuelSteps;
     EngineOpts.Prover.Sat.IndexedSubsumption = Opts.IndexedSubsumption;
+    EngineOpts.Prover.Sat.IncrementalModel = Opts.IncrementalModel;
     engine::BatchProver Engine(EngineOpts);
     std::vector<unsigned> LineNos;
     std::vector<std::string> Queries =
@@ -206,6 +215,7 @@ int main(int argc, char **argv) {
 
   core::ProverOptions ProverOpts;
   ProverOpts.Sat.IndexedSubsumption = Opts.IndexedSubsumption;
+  ProverOpts.Sat.IncrementalModel = Opts.IncrementalModel;
   core::SlpProver Slp(Terms, ProverOpts);
   baselines::BerdineProver Berdine(Terms);
   baselines::UnfoldingProver Greedy(Terms);
@@ -256,7 +266,15 @@ int main(int argc, char **argv) {
                        " bwd=" + std::to_string(R.Stats.SubsumedBwd) +
                        " checks=" + std::to_string(R.Stats.SubChecks) +
                        " scan-equivalent=" +
-                       std::to_string(R.Stats.SubScanBaseline);
+                       std::to_string(R.Stats.SubScanBaseline) +
+                       "\n  model-guided: attempts=" +
+                       std::to_string(R.Stats.ModelAttempts) +
+                       " replay-skipped=" +
+                       std::to_string(R.Stats.GenReplayedFrom) +
+                       " cert-skipped=" +
+                       std::to_string(R.Stats.CertSkipped) +
+                       " nf-cache-reuse=" +
+                       std::to_string(R.Stats.NfCacheReuse);
     }
     std::cout << "[" << Index << "] " << sl::str(Terms, E) << "\n    "
               << VerdictText;
