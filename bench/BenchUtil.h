@@ -5,9 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Helpers shared by the table-reproduction harnesses: the three
-/// provers behind one interface, per-instance fuel budgets standing in
-/// for the paper's 10-minute wall-clock timeout, and row formatting.
+/// Helpers shared by the table-reproduction harnesses: every backend
+/// (SLP, the two baselines, and the racing portfolio) measured through
+/// the same engine path, per-instance fuel budgets standing in for the
+/// paper's 10-minute wall-clock timeout, and row formatting.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +19,7 @@
 #include "baselines/UnfoldingProver.h"
 #include "core/Prover.h"
 #include "engine/BatchProver.h"
+#include "engine/Portfolio.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -52,6 +54,9 @@ struct BatchResult {
   /// certification checks skipped, normal-form memo reuses.
   uint64_t ModelAttempts = 0, GenReplayedFrom = 0;
   uint64_t CertSkipped = 0, NfCacheReuse = 0;
+  /// Per-backend win/loss/time tallies (portfolio runs: one entry per
+  /// racing member; single-backend runs: one entry).
+  std::vector<engine::BackendTally> Backends;
 };
 
 /// Renders "12.34" or "12.34 (57%)" when some instances timed out,
@@ -67,27 +72,28 @@ inline std::string cell(const BatchResult &R) {
   return Buf;
 }
 
-/// Runs SLP over a batch with a per-instance fuel budget, through the
-/// concurrent batch engine, so the table corpora exercise the same
-/// code path production traffic takes. SLP_BENCH_JOBS sets the worker
-/// count (default 1) and SLP_BENCH_CACHE=1 enables the memoizing
-/// entailment cache (default off).
+/// Runs one backend over a batch with a per-instance fuel budget,
+/// through the concurrent batch engine, so every table column
+/// exercises the same code path production traffic takes — per-query
+/// parse, canonicalization, and proving the *canonical* form. (Under
+/// tight fuel budgets the canonical renaming can shift individual
+/// borderline instances across the Solved line relative to proving
+/// the raw instance; verdicts themselves are unchanged — validity is
+/// renaming-invariant.) SLP_BENCH_JOBS sets the worker count (default
+/// 1) and SLP_BENCH_CACHE=1 enables the memoizing entailment cache
+/// (default off).
 ///
-/// Note on comparability: the SLP column times the full engine path —
-/// per-query parse, canonicalization, and proving the *canonical*
-/// form in a fresh table — while the baseline columns prove pre-built
-/// entailments directly. The ~µs/query text overhead is noise against
-/// prover time, but under tight fuel budgets the canonical renaming
-/// can shift individual borderline instances across the Solved line
-/// relative to pre-engine numbers (verdicts themselves are unchanged;
-/// validity is renaming-invariant).
-inline BatchResult runSlp(TermTable &Terms,
-                          const std::vector<sl::Entailment> &Batch,
-                          uint64_t FuelPerInstance) {
+/// "Solved" counts definitive verdicts within the budget; for the
+/// incomplete unfolder that is exactly "proofs found", reproducing the
+/// paper's jStar accounting.
+inline BatchResult runBackend(engine::BackendKind Backend, TermTable &Terms,
+                              const std::vector<sl::Entailment> &Batch,
+                              uint64_t FuelPerInstance) {
   engine::BatchOptions Opts;
   Opts.Jobs = static_cast<unsigned>(envOr("SLP_BENCH_JOBS", 1));
   Opts.CacheEnabled = envOr("SLP_BENCH_CACHE", 0) != 0;
   Opts.FuelPerQuery = FuelPerInstance;
+  Opts.Backend = Backend;
 
   std::vector<std::string> Queries;
   Queries.reserve(Batch.size());
@@ -115,12 +121,30 @@ inline BatchResult runSlp(TermTable &Terms,
   R.GenReplayedFrom = Engine.stats().GenReplayedFrom;
   R.CertSkipped = Engine.stats().CertSkipped;
   R.NfCacheReuse = Engine.stats().NfCacheReuse;
+  R.Backends = Engine.stats().Backends;
   if (Engine.stats().ParseErrors)
     std::fprintf(stderr,
                  "warning: %zu of %zu rendered entailments failed to "
-                 "re-parse; SLP row undercounts Solved\n",
-                 Engine.stats().ParseErrors, Queries.size());
+                 "re-parse; %s row undercounts Solved\n",
+                 Engine.stats().ParseErrors, Queries.size(),
+                 engine::backendKindName(Backend));
   return R;
+}
+
+inline BatchResult runSlp(TermTable &Terms,
+                          const std::vector<sl::Entailment> &Batch,
+                          uint64_t FuelPerInstance) {
+  return runBackend(engine::BackendKind::Slp, Terms, Batch,
+                    FuelPerInstance);
+}
+
+/// Races slp | berdine | unfolding per instance; BatchResult::Backends
+/// carries the per-member win counts.
+inline BatchResult runPortfolio(TermTable &Terms,
+                                const std::vector<sl::Entailment> &Batch,
+                                uint64_t FuelPerInstance) {
+  return runBackend(engine::BackendKind::Portfolio, Terms, Batch,
+                    FuelPerInstance);
 }
 
 /// Minimal streaming writer for the bench-trajectory JSON artifacts
@@ -190,24 +214,13 @@ private:
   bool FirstField = true;
 };
 
-/// Runs the complete Berdine-style baseline over a batch.
+/// Runs the complete Berdine-style baseline over a batch (through the
+/// engine and the backend abstraction, like every other column).
 inline BatchResult runBerdine(TermTable &Terms,
                               const std::vector<sl::Entailment> &Batch,
                               uint64_t FuelPerInstance) {
-  baselines::BerdineProver Prover(Terms);
-  BatchResult R;
-  R.Total = static_cast<unsigned>(Batch.size());
-  Timer T;
-  for (const sl::Entailment &E : Batch) {
-    Fuel F(FuelPerInstance);
-    baselines::BaselineVerdict V = Prover.prove(E, F);
-    if (V != baselines::BaselineVerdict::Unknown)
-      ++R.Solved;
-    if (V == baselines::BaselineVerdict::Valid)
-      ++R.Valid;
-  }
-  R.Seconds = T.seconds();
-  return R;
+  return runBackend(engine::BackendKind::Berdine, Terms, Batch,
+                    FuelPerInstance);
 }
 
 /// Runs the greedy jStar-style prover over a batch. "Solved" counts
@@ -216,20 +229,8 @@ inline BatchResult runBerdine(TermTable &Terms,
 inline BatchResult runGreedy(TermTable &Terms,
                              const std::vector<sl::Entailment> &Batch,
                              uint64_t FuelPerInstance) {
-  baselines::UnfoldingProver Prover(Terms);
-  BatchResult R;
-  R.Total = static_cast<unsigned>(Batch.size());
-  Timer T;
-  for (const sl::Entailment &E : Batch) {
-    Fuel F(FuelPerInstance);
-    baselines::GreedyVerdict V = Prover.prove(E, F);
-    if (V == baselines::GreedyVerdict::Valid) {
-      ++R.Solved;
-      ++R.Valid;
-    }
-  }
-  R.Seconds = T.seconds();
-  return R;
+  return runBackend(engine::BackendKind::Unfolding, Terms, Batch,
+                    FuelPerInstance);
 }
 
 } // namespace bench

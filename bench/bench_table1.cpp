@@ -19,9 +19,12 @@
 /// SLP_BENCH_FUEL to change the per-instance budget.
 ///
 /// With `--json[=path]` the run additionally writes a machine-readable
-/// trajectory (per-row wall clock plus the model-attempt counters) to
-/// BENCH_table1.json, which CI uploads as an artifact so future
-/// changes have a perf baseline to diff against.
+/// trajectory (per-row wall clock, verdict counts for every column,
+/// plus the model-attempt counters) to BENCH_table1.json, which CI
+/// uploads as an artifact so future changes have a perf baseline to
+/// diff against. `--portfolio` adds a fourth column racing
+/// slp|berdine|unfolding per instance and reports each member's win
+/// count (and per-member wins in the JSON rows).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +33,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -43,13 +47,17 @@ int main(int argc, char **argv) {
   const uint64_t Seed = envOr("SLP_BENCH_SEED", 1);
 
   std::string JsonPath;
+  bool WithPortfolio = false;
   for (int I = 1; I != argc; ++I) {
     if (std::strcmp(argv[I], "--json") == 0) {
       JsonPath = "BENCH_table1.json";
     } else if (std::strncmp(argv[I], "--json=", 7) == 0) {
       JsonPath = argv[I] + 7;
+    } else if (std::strcmp(argv[I], "--portfolio") == 0) {
+      WithPortfolio = true;
     } else {
-      std::fprintf(stderr, "usage: bench_table1 [--json[=path]]\n");
+      std::fprintf(stderr,
+                   "usage: bench_table1 [--json[=path]] [--portfolio]\n");
       return 2;
     }
   }
@@ -81,11 +89,15 @@ int main(int argc, char **argv) {
   std::printf("Table 1: %u random instances of F -> false per row "
               "(fuel %llu/instance)\n\n",
               Instances, static_cast<unsigned long long>(FuelBudget));
-  std::printf("%5s %6s %5s %7s | %14s %14s %14s\n", "Vars", "Plseg", "Pne",
+  std::printf("%5s %6s %5s %7s | %14s %14s %14s", "Vars", "Plseg", "Pne",
               "%Valid", "Greedy[jStar]", "Berdine[SF]", "SLP");
+  if (WithPortfolio)
+    std::printf(" %14s", "Portfolio");
+  std::printf("\n");
 
   uint64_t SubChecks = 0, SubScan = 0, SubFwd = 0, SubBwd = 0;
   uint64_t ModelAttempts = 0, GenReplayed = 0, CertSkipped = 0, NfReuse = 0;
+  std::map<std::string, uint64_t> PortfolioWins;
   for (const Row &R : Rows) {
     SymbolTable Symbols;
     TermTable Terms(Symbols);
@@ -99,11 +111,20 @@ int main(int argc, char **argv) {
     BatchResult Slp = runSlp(Terms, Batch, FuelBudget);
     BatchResult Berdine = runBerdine(Terms, Batch, FuelBudget);
     BatchResult Greedy = runGreedy(Terms, Batch, FuelBudget);
+    BatchResult Portfolio;
+    if (WithPortfolio) {
+      Portfolio = runPortfolio(Terms, Batch, FuelBudget);
+      for (const engine::BackendTally &T : Portfolio.Backends)
+        PortfolioWins[T.Name] += T.Wins;
+    }
 
-    std::printf("%5u %6.2f %5.2f %6u%% | %14s %14s %14s\n", R.Vars, R.PLseg,
+    std::printf("%5u %6.2f %5.2f %6u%% | %14s %14s %14s", R.Vars, R.PLseg,
                 R.PNe, 100 * Slp.Valid / std::max(1u, Slp.Total),
                 cell(Greedy).c_str(), cell(Berdine).c_str(),
                 cell(Slp).c_str());
+    if (WithPortfolio)
+      std::printf(" %14s", cell(Portfolio).c_str());
+    std::printf("\n");
     std::fflush(stdout);
     SubChecks += Slp.SubChecks;
     SubScan += Slp.SubScanBaseline;
@@ -124,8 +145,19 @@ int main(int argc, char **argv) {
       Json->field("slp_valid", static_cast<uint64_t>(Slp.Valid));
       Json->field("berdine_seconds", Berdine.Seconds);
       Json->field("berdine_solved", static_cast<uint64_t>(Berdine.Solved));
+      Json->field("berdine_valid", static_cast<uint64_t>(Berdine.Valid));
       Json->field("greedy_seconds", Greedy.Seconds);
       Json->field("greedy_solved", static_cast<uint64_t>(Greedy.Solved));
+      Json->field("greedy_valid", static_cast<uint64_t>(Greedy.Valid));
+      if (WithPortfolio) {
+        Json->field("portfolio_seconds", Portfolio.Seconds);
+        Json->field("portfolio_solved",
+                    static_cast<uint64_t>(Portfolio.Solved));
+        Json->field("portfolio_valid",
+                    static_cast<uint64_t>(Portfolio.Valid));
+        for (const engine::BackendTally &T : Portfolio.Backends)
+          Json->field(("portfolio_" + T.Name + "_wins").c_str(), T.Wins);
+      }
       Json->field("model_attempts", Slp.ModelAttempts);
       Json->field("gen_replayed_from", Slp.GenReplayedFrom);
       Json->field("cert_skipped", Slp.CertSkipped);
@@ -149,6 +181,13 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(GenReplayed),
               static_cast<unsigned long long>(CertSkipped),
               static_cast<unsigned long long>(NfReuse));
+  if (WithPortfolio) {
+    std::printf("Portfolio wins by backend:");
+    for (const auto &[Name, Wins] : PortfolioWins)
+      std::printf(" %s=%llu", Name.c_str(),
+                  static_cast<unsigned long long>(Wins));
+    std::printf("\n");
+  }
   std::printf("\nNote: the greedy prover is incomplete; its \"(N%%)\" counts "
               "proofs found,\nso it never reaches 100%% on mixed batches.\n");
   if (Json)

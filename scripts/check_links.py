@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Dead-link checker for the repository's markdown docs.
+
+Scans the given markdown files for inline links and validates every
+*relative* link target (external http(s)/mailto links are out of
+scope): the target file must exist relative to the linking file, and a
+`#fragment` pointing into a markdown file must match one of its
+headings (GitHub-style slugs). Exits non-zero listing every dead link,
+so CI fails when README/docs drift from the tree.
+
+Usage: scripts/check_links.py README.md docs/*.md
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links: [text](target). Images share the syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#+\s+(.*)$", re.MULTILINE)
+
+# GitHub resolves a leading-/ link against the repository root, not
+# the filesystem root; this script lives in <repo>/scripts/.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    slugs = set()
+    counts = {}
+    for match in HEADING_RE.finditer(path.read_text(encoding="utf-8")):
+        slug = slugify(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(md: Path) -> list:
+    errors = []
+    for target in LINK_RE.findall(md.read_text(encoding="utf-8")):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+            continue
+        path_part, _, fragment = target.partition("#")
+        if not path_part:  # Pure in-page anchor.
+            dest = md
+        else:
+            base = REPO_ROOT if path_part.startswith("/") else md.parent
+            dest = (base / path_part.lstrip("/")).resolve()
+            if not dest.exists():
+                errors.append(f"{md}: dead link -> {target}")
+                continue
+        if fragment and dest.suffix == ".md" and dest.is_file():
+            if slugify(fragment) not in heading_slugs(dest):
+                errors.append(f"{md}: dead anchor -> {target}")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv[1:]:
+        md = Path(name)
+        if not md.is_file():
+            errors.append(f"{md}: no such file")
+            continue
+        errors.extend(check_file(md))
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"checked {len(argv) - 1} files, all links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

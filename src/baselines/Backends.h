@@ -1,0 +1,61 @@
+//===- baselines/Backends.h - Baselines behind the backend API --*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two baseline provers wrapped as core::EntailmentBackend
+/// implementations, so the engine, the portfolio scheduler, and the
+/// benchmark harnesses can treat them interchangeably with SLP.
+///
+/// Verdict mapping:
+///   BerdineBackend   Valid/Invalid/Unknown pass through (the case
+///                    splitter is complete, both verdicts definitive).
+///   UnfoldingBackend Valid passes through; NotProved becomes Unknown
+///                    (the greedy prover is sound but incomplete — it
+///                    must never claim Invalid, so a portfolio cannot
+///                    accept its failures as verdicts).
+///
+/// Each prove() builds a fresh SymbolTable + TermTable: the baselines
+/// keep no cross-query state worth preserving, and fresh tables make
+/// the backends safe to race from portfolio threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_BASELINES_BACKENDS_H
+#define SLP_BASELINES_BACKENDS_H
+
+#include "baselines/BerdineProver.h"
+#include "baselines/UnfoldingProver.h"
+#include "core/Backend.h"
+
+namespace slp {
+namespace baselines {
+
+/// The complete Smallfoot-style case-splitting prover as a backend.
+class BerdineBackend final : public core::EntailmentBackend {
+public:
+  const char *name() const override { return "berdine"; }
+  bool complete() const override { return true; }
+  core::BackendResult prove(const core::ProofTask &Task, Fuel &F) override;
+
+  /// Counters of the most recent prove() (case splits, leaves).
+  const BaselineStats &stats() const { return Stats; }
+
+private:
+  BaselineStats Stats;
+};
+
+/// The incomplete jStar-style greedy unfolder as a backend.
+class UnfoldingBackend final : public core::EntailmentBackend {
+public:
+  const char *name() const override { return "unfolding"; }
+  bool complete() const override { return false; }
+  core::BackendResult prove(const core::ProofTask &Task, Fuel &F) override;
+};
+
+} // namespace baselines
+} // namespace slp
+
+#endif // SLP_BASELINES_BACKENDS_H

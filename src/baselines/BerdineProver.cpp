@@ -119,7 +119,10 @@ BaselineVerdict BerdineProver::decide(const State &S, Fuel &F) {
 
   // Step 3: forced well-formedness analysis of Σ. Each rule either
   // proves the sequent (inconsistent Σ) or recurses with a new pure
-  // literal; the recursion redoes the whole analysis.
+  // literal; the recursion redoes the whole analysis. Every pair
+  // inspection is an elementary step: charging fuel here keeps the
+  // budget honest on wide formulas and gives a cancelled portfolio
+  // loser a poll point inside the quadratic scan.
   for (size_t I = 0; I != Sigma.size(); ++I) {
     const sl::HeapAtom &A = Sigma[I];
     if (A.Addr->isNil()) {
@@ -128,6 +131,8 @@ BaselineVerdict BerdineProver::decide(const State &S, Fuel &F) {
       return Branch(sl::PureAtom::eq(A.Val, A.Addr)); // lseg must be empty.
     }
     for (size_t J = I + 1; J != Sigma.size(); ++J) {
+      if (!F.consume())
+        return BaselineVerdict::Unknown;
       const sl::HeapAtom &B = Sigma[J];
       if (A.Addr != B.Addr)
         continue;
@@ -155,6 +160,8 @@ BaselineVerdict BerdineProver::decide(const State &S, Fuel &F) {
   }
   for (size_t I = 0; I != Reps.size(); ++I)
     for (size_t J = I + 1; J != Reps.size(); ++J) {
+      if (!F.consume())
+        return BaselineVerdict::Unknown;
       uint32_t RA = UF.find(Reps[I]->id()), RB = UF.find(Reps[J]->id());
       if (Diseqs.count({std::min(RA, RB), std::max(RA, RB)}))
         continue;
@@ -165,8 +172,12 @@ BaselineVerdict BerdineProver::decide(const State &S, Fuel &F) {
 
   // Step 5: leaf — the partition is total. Check Π' and then decide
   // the spatial part with the deterministic unfolding walk (at a total
-  // partition the walk decides validity outright).
+  // partition the walk decides validity outright). The walk below is
+  // linear in the formulas; charge it up front so leaf work is on the
+  // budget and cancellation is polled once more per leaf.
   ++Stats.Leaves;
+  if (!F.consume(1 + Sigma.size() + SigmaP.size()))
+    return BaselineVerdict::Unknown;
   for (const sl::PureAtom &A : S.PureP) {
     bool Equal = RepOf(A.Lhs) == RepOf(A.Rhs);
     if (Equal == A.Negated)

@@ -89,6 +89,10 @@ GreedyVerdict UnfoldingProver::prove(const sl::Entailment &E, Fuel &F) {
         break;
       }
       for (size_t J = I + 1; J != Sigma.size(); ++J) {
+        // Per-pair fuel, matching the Berdine prover's discipline: the
+        // quadratic scan is on the budget and polls cancellation.
+        if (!F.consume())
+          return GreedyVerdict::NotProved;
         const sl::HeapAtom &B = Sigma[J];
         if (A.Addr != B.Addr)
           continue;

@@ -17,9 +17,36 @@ using namespace slp::engine;
 BatchProver::BatchProver(BatchOptions Opts)
     : Opts(Opts), Cache(Opts.Cache) {}
 
-QueryResult BatchProver::proveOne(const ProofTask &Task,
-                                  core::ProverSession &Session,
-                                  WorkerTotals &Totals) {
+BatchProver::Worker::Worker(const BatchOptions &Opts)
+    : Session(Opts.Prover) {
+  if (Opts.Backend == BackendKind::Slp) {
+    // Fast path: the session itself proves; no backend object, no
+    // canonical-text round trip.
+    Tally.Name = backendKindName(BackendKind::Slp);
+    return;
+  }
+  if (Opts.Backend == BackendKind::Portfolio) {
+    // The per-query Fuel handed to prove() carries the budget; the
+    // portfolio derives each member's budget from it.
+    PortfolioOptions PO;
+    PO.Backends = Opts.Portfolio;
+    PO.Prover = Opts.Prover;
+    auto P = std::make_unique<PortfolioProver>(std::move(PO));
+    Portfolio = P.get();
+    Backend = std::move(P);
+    return;
+  }
+  Backend = makeBackend(Opts.Backend, Opts.Prover);
+  Tally.Name = Backend->name();
+}
+
+std::vector<BackendTally> BatchProver::Worker::tallies() const {
+  if (Portfolio)
+    return Portfolio->tallies();
+  return {Tally};
+}
+
+QueryResult BatchProver::proveOne(const ProofTask &Task, Worker &W) {
   QueryResult Out;
 
   // Parse once, straight into the worker's session table on top of the
@@ -27,10 +54,10 @@ QueryResult BatchProver::proveOne(const ProofTask &Task,
   // are worker-local; the rewind below keeps symbol ids (and thus the
   // term ordering the calculus uses) independent of scheduling
   // history.
-  Session.reset();
+  W.Session.reset();
   Timer Phase;
-  sl::ParseResult P = sl::parseEntailment(Session.terms(), Task.Text);
-  Totals.ParseSeconds += Phase.seconds();
+  sl::ParseResult P = sl::parseEntailment(W.Session.terms(), Task.Text);
+  W.ParseSeconds += Phase.seconds();
   if (!P.ok()) {
     Out.Status = QueryStatus::ParseError;
     Out.Error = P.Error->render();
@@ -41,7 +68,7 @@ QueryResult BatchProver::proveOne(const ProofTask &Task,
   if (Opts.CacheEnabled) {
     Phase.restart();
     std::optional<core::Verdict> Hit = Cache.lookup(Q);
-    Totals.CacheSeconds += Phase.seconds();
+    W.CacheSeconds += Phase.seconds();
     if (Hit) {
       Out.V = *Hit;
       Out.FromCache = true;
@@ -53,26 +80,76 @@ QueryResult BatchProver::proveOne(const ProofTask &Task,
   // at the baseline, so the verdict is a pure function of the
   // canonical key (see the file comment in the header). The parsed
   // entailment dangles after the reset; only Q is used from here on.
-  Session.reset();
+  W.Session.reset();
   Phase.restart();
-  sl::Entailment E = Q.rebuild(Session.terms());
-  Fuel F = Opts.FuelPerQuery ? Fuel(Opts.FuelPerQuery) : Fuel();
-  core::ProveResult R = Session.prove(E, F);
-  Totals.ProveSeconds += Phase.seconds();
-  Out.V = R.V;
-  Out.FuelUsed = R.Stats.FuelUsed;
-  Out.SubsumedFwd = R.Stats.SubsumedFwd;
-  Out.SubsumedBwd = R.Stats.SubsumedBwd;
-  Out.SubChecks = R.Stats.SubChecks;
-  Out.SubScanBaseline = R.Stats.SubScanBaseline;
-  Out.ModelAttempts = R.Stats.ModelAttempts;
-  Out.GenReplayedFrom = R.Stats.GenReplayedFrom;
-  Out.CertSkipped = R.Stats.CertSkipped;
-  Out.NfCacheReuse = R.Stats.NfCacheReuse;
+  sl::Entailment E = Q.rebuild(W.Session.terms());
+  double ProveTime = 0;
+
+  if (!W.Backend) {
+    // Slp fast path: prove in the session directly.
+    Fuel F = Opts.FuelPerQuery ? Fuel(Opts.FuelPerQuery) : Fuel();
+    core::ProveResult R = W.Session.prove(E, F);
+    ProveTime = Phase.seconds();
+    W.ProveSeconds += ProveTime;
+    Out.V = R.V;
+    Out.FuelUsed = R.Stats.FuelUsed;
+    Out.SubsumedFwd = R.Stats.SubsumedFwd;
+    Out.SubsumedBwd = R.Stats.SubsumedBwd;
+    Out.SubChecks = R.Stats.SubChecks;
+    Out.SubScanBaseline = R.Stats.SubScanBaseline;
+    Out.ModelAttempts = R.Stats.ModelAttempts;
+    Out.GenReplayedFrom = R.Stats.GenReplayedFrom;
+    Out.CertSkipped = R.Stats.CertSkipped;
+    Out.NfCacheReuse = R.Stats.NfCacheReuse;
+    if (R.V != core::Verdict::Unknown)
+      Out.Backend = W.Tally.Name;
+  } else {
+    // Backend path: hand the canonical form to the backend as text
+    // (its own tables, its own parse), so racing members never touch
+    // the worker session.
+    ProofTask Canon{sl::str(W.Session.terms(), E), Task.Name, Task.Group};
+    Fuel F = Opts.FuelPerQuery ? Fuel(Opts.FuelPerQuery) : Fuel();
+    core::BackendResult BR = W.Backend->prove(Canon, F);
+    ProveTime = Phase.seconds();
+    W.ProveSeconds += ProveTime;
+    if (!BR.Parsed) {
+      // Cannot happen for text we rendered ourselves, but surface it
+      // rather than miscount.
+      Out.Status = QueryStatus::ParseError;
+      Out.Error = BR.Error;
+      return Out;
+    }
+    Out.V = BR.V;
+    Out.FuelUsed = BR.FuelUsed;
+    // Per the header contract, Backend names a verdict's producer;
+    // nobody vouches for Unknown (single backends name themselves in
+    // BR.Backend unconditionally, the portfolio already clears it).
+    if (BR.V != core::Verdict::Unknown)
+      Out.Backend = BR.Backend;
+    Out.SubsumedFwd = BR.Stats.SubsumedFwd;
+    Out.SubsumedBwd = BR.Stats.SubsumedBwd;
+    Out.SubChecks = BR.Stats.SubChecks;
+    Out.SubScanBaseline = BR.Stats.SubScanBaseline;
+    Out.ModelAttempts = BR.Stats.ModelAttempts;
+    Out.GenReplayedFrom = BR.Stats.GenReplayedFrom;
+    Out.CertSkipped = BR.Stats.CertSkipped;
+    Out.NfCacheReuse = BR.Stats.NfCacheReuse;
+  }
+
+  // Single-backend accounting (the portfolio keeps its own tallies).
+  if (!W.Portfolio) {
+    ++W.Tally.Races;
+    bool Definitive = Out.V != core::Verdict::Unknown;
+    W.Tally.Wins += Definitive;
+    W.Tally.Definitive += Definitive;
+    W.Tally.Seconds += ProveTime;
+    W.Tally.FuelUsed += Out.FuelUsed;
+  }
+
   if (Opts.CacheEnabled) {
     Phase.restart();
-    Cache.insert(Q, R.V);
-    Totals.CacheSeconds += Phase.seconds();
+    Cache.insert(Q, Out.V);
+    W.CacheSeconds += Phase.seconds();
   }
   return Out;
 }
@@ -83,39 +160,45 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
   Timer T;
 
   unsigned Jobs = ThreadPool::resolveJobs(Opts.Jobs);
-  std::vector<WorkerTotals> Totals;
   std::vector<core::SessionStats> Sessions;
+  std::vector<std::vector<BackendTally>> WorkerTallies;
+  double ParseSeconds = 0, ProveSeconds = 0, CacheSeconds = 0;
+  auto Retire = [&](const Worker &W) {
+    Sessions.push_back(W.Session.stats());
+    WorkerTallies.push_back(W.tallies());
+    ParseSeconds += W.ParseSeconds;
+    ProveSeconds += W.ProveSeconds;
+    CacheSeconds += W.CacheSeconds;
+  };
+
   if (Jobs <= 1 || Tasks.size() <= 1) {
-    core::ProverSession Session(Opts.Prover);
-    Totals.emplace_back();
+    Worker W(Opts);
     for (size_t I = 0; I != Tasks.size(); ++I)
-      Results[I] = proveOne(Tasks[I], Session, Totals.front());
-    Sessions.push_back(Session.stats());
+      Results[I] = proveOne(Tasks[I], W);
+    Retire(W);
   } else {
     WorkQueue Queue(Tasks.size());
     ThreadPool Pool(Jobs);
-    Totals.resize(Jobs);
-    Sessions.resize(Jobs);
-    for (unsigned W = 0; W != Jobs; ++W)
-      Pool.submit([this, W, &Queue, &Tasks, &Results, &Totals, &Sessions] {
-        // One long-lived session per worker for the whole batch.
-        core::ProverSession Session(Opts.Prover);
+    std::vector<std::unique_ptr<Worker>> Workers(Jobs);
+    for (unsigned J = 0; J != Jobs; ++J)
+      Pool.submit([this, J, &Queue, &Tasks, &Results, &Workers] {
+        // One long-lived worker context per job for the whole batch.
+        Workers[J] = std::make_unique<Worker>(Opts);
         size_t I;
         while (Queue.pop(I))
-          Results[I] = proveOne(Tasks[I], Session, Totals[W]);
-        Sessions[W] = Session.stats();
+          Results[I] = proveOne(Tasks[I], *Workers[J]);
       });
     Pool.wait();
+    for (const std::unique_ptr<Worker> &W : Workers)
+      Retire(*W);
   }
 
   Stats = BatchStats();
   Stats.Seconds = T.seconds();
   Stats.Queries = Tasks.size();
-  for (const WorkerTotals &WT : Totals) {
-    Stats.ParseSeconds += WT.ParseSeconds;
-    Stats.ProveSeconds += WT.ProveSeconds;
-    Stats.CacheSeconds += WT.CacheSeconds;
-  }
+  Stats.ParseSeconds = ParseSeconds;
+  Stats.ProveSeconds = ProveSeconds;
+  Stats.CacheSeconds = CacheSeconds;
   Stats.Sessions = Sessions.size();
   for (const core::SessionStats &SS : Sessions) {
     Stats.SessionResets += SS.Resets;
@@ -123,6 +206,24 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
     Stats.ArenaBytesReclaimed += SS.BytesReclaimed;
     Stats.ArenaSlabsReused += SS.SlabsReused;
   }
+  // Merge per-backend tallies across workers, preserving member order.
+  for (const std::vector<BackendTally> &WT : WorkerTallies)
+    for (const BackendTally &BT : WT) {
+      BackendTally *Into = nullptr;
+      for (BackendTally &Existing : Stats.Backends)
+        if (Existing.Name == BT.Name)
+          Into = &Existing;
+      if (!Into) {
+        Stats.Backends.push_back(BackendTally{BT.Name, 0, 0, 0, 0, 0, 0});
+        Into = &Stats.Backends.back();
+      }
+      Into->Races += BT.Races;
+      Into->Wins += BT.Wins;
+      Into->Definitive += BT.Definitive;
+      Into->Cancelled += BT.Cancelled;
+      Into->Seconds += BT.Seconds;
+      Into->FuelUsed += BT.FuelUsed;
+    }
   for (const QueryResult &R : Results) {
     if (R.Status == QueryStatus::ParseError) {
       ++Stats.ParseErrors;

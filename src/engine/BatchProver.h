@@ -25,15 +25,25 @@
 /// cost. Results are reported in input order; a `--jobs=8` run is
 /// byte-identical to a sequential one.
 ///
+/// The engine can also discharge tasks through any
+/// core::EntailmentBackend (BatchOptions::Backend): the Berdine and
+/// unfolding baselines, or the racing portfolio. Those paths still
+/// canonicalize and cache in the worker's session, then hand the
+/// *canonical* text to the backend, so verdicts stay pure functions of
+/// the canonical key; per-backend win/loss/time tallies are merged
+/// into BatchStats::Backends.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLP_ENGINE_BATCHPROVER_H
 #define SLP_ENGINE_BATCHPROVER_H
 
 #include "core/ProverSession.h"
+#include "engine/Portfolio.h"
 #include "engine/ProofTask.h"
 #include "engine/ResultCache.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,8 +55,18 @@ struct BatchOptions {
   unsigned Jobs = 1;          ///< Worker threads; 0 = hardware concurrency.
   bool CacheEnabled = true;   ///< Consult/populate the ResultCache.
   uint64_t FuelPerQuery = 0;  ///< Inference budget per query; 0 = unlimited.
+                              ///< For the portfolio backend this is the
+                              ///< per-member budget of each race.
   ResultCache::Options Cache; ///< Shard count and capacity.
   core::ProverOptions Prover; ///< Forwarded to every worker session.
+  /// Which prover discharges the tasks. Slp proves directly in the
+  /// worker's session (the fast path); the baselines and the portfolio
+  /// go through the core::EntailmentBackend interface, one backend
+  /// instance per worker.
+  BackendKind Backend = BackendKind::Slp;
+  /// Portfolio members when Backend == BackendKind::Portfolio.
+  std::vector<BackendKind> Portfolio = {
+      BackendKind::Slp, BackendKind::Berdine, BackendKind::Unfolding};
 };
 
 /// What happened to one query of the batch.
@@ -69,6 +89,10 @@ struct QueryResult {
   /// certification checks skipped, normal-form memo reuses.
   uint64_t ModelAttempts = 0, GenReplayedFrom = 0;
   uint64_t CertSkipped = 0, NfCacheReuse = 0;
+  /// Backend that produced the verdict ("slp", "berdine", ...; for
+  /// portfolio runs, the race winner). Empty for cache hits, parse
+  /// errors, and undecided portfolio races.
+  std::string Backend;
   std::string Error;     ///< Parse diagnostic when Status == ParseError.
 
   /// Stable one-word rendering used by the tools' output.
@@ -110,6 +134,10 @@ struct BatchStats {
   uint64_t TermsReclaimed = 0;
   uint64_t ArenaBytesReclaimed = 0;
   uint64_t ArenaSlabsReused = 0;
+  /// Per-backend win/loss/time breakdown, merged across workers, in
+  /// member order (single entry for non-portfolio runs). Cache hits
+  /// and parse errors are not races and appear in no tally.
+  std::vector<BackendTally> Backends;
 
   double throughput() const { return Seconds > 0 ? Queries / Seconds : 0; }
   double hitRate() const {
@@ -147,14 +175,28 @@ public:
   splitCorpus(std::string_view Text, std::vector<unsigned> *LineNos = nullptr);
 
 private:
-  /// Per-worker phase-time accumulators, merged into BatchStats after
-  /// the pool drains.
-  struct WorkerTotals {
+  /// Everything one worker owns for the duration of a batch: the
+  /// parse/canonicalization session (which doubles as the proving
+  /// session on the Slp fast path), the backend object for the other
+  /// backends, and the per-backend accounting.
+  struct Worker {
+    explicit Worker(const BatchOptions &Opts);
+
+    core::ProverSession Session;
+    /// Null on the Slp fast path (the session itself proves).
+    std::unique_ptr<core::EntailmentBackend> Backend;
+    /// Set iff Backend is a portfolio (it keeps its own tallies).
+    PortfolioProver *Portfolio = nullptr;
+    /// Single-backend tally, synthesized by proveOne; unused when
+    /// Portfolio is set.
+    BackendTally Tally;
     double ParseSeconds = 0, ProveSeconds = 0, CacheSeconds = 0;
+
+    /// The tallies to merge into BatchStats at end of batch.
+    std::vector<BackendTally> tallies() const;
   };
 
-  QueryResult proveOne(const ProofTask &Task, core::ProverSession &Session,
-                       WorkerTotals &Totals);
+  QueryResult proveOne(const ProofTask &Task, Worker &W);
 
   BatchOptions Opts;
   ResultCache Cache;

@@ -5,36 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The engine's unit of work: one entailment to discharge, as text in
-/// the slp concrete syntax, optionally labeled and grouped. Text is
-/// the interchange form on purpose — every task is parsed inside the
-/// worker that proves it, straight into that worker's session table,
-/// so task sources never share term tables with the engine and any
-/// producer (a corpus file, the symbolic executor's verification
-/// conditions, a network front end) plugs in the same way.
+/// Compatibility re-export: ProofTask moved down to core/ProofTask.h
+/// when the backend abstraction (core::EntailmentBackend) made it the
+/// argument of every backend's prove(). Engine code and task sources
+/// keep using the engine::ProofTask name.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLP_ENGINE_PROOFTASK_H
 #define SLP_ENGINE_PROOFTASK_H
 
-#include <cstdint>
-#include <string>
+#include "core/ProofTask.h"
 
 namespace slp {
 namespace engine {
 
-/// One proof obligation for the batch engine.
-struct ProofTask {
-  /// The entailment in slp concrete syntax (sl::parseEntailment).
-  std::string Text;
-  /// Human-readable label, e.g. "reverse: postcondition"; empty for
-  /// anonymous corpus lines.
-  std::string Name;
-  /// Grouping key for reporting (e.g. index of the source program in
-  /// a verification run); results can be re-bucketed by it.
-  uint32_t Group = 0;
-};
+using core::ProofTask;
 
 } // namespace engine
 } // namespace slp

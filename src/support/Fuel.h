@@ -15,12 +15,43 @@
 #ifndef SLP_SUPPORT_FUEL_H
 #define SLP_SUPPORT_FUEL_H
 
+#include <atomic>
 #include <cstdint>
 
 namespace slp {
 
-/// Counts down elementary inference steps; once exhausted, provers
-/// abort with a Timeout verdict.
+/// A shared one-shot cooperative cancellation flag. The portfolio
+/// scheduler hands one token to every racing backend (threaded through
+/// that backend's Fuel); when the first definitive verdict lands, the
+/// winner's thread raises the flag and the losers' very next fuel
+/// check aborts their search. Raising and reading are relaxed atomics:
+/// losers only ever do wasted-but-sound extra work between the raise
+/// and their next check.
+///
+/// Tokens chain: a token constructed with a parent reads as cancelled
+/// as soon as either itself or the parent fires, so a scheduler can
+/// derive a per-race token from a caller's token and both an outer
+/// timeout and the race winner stop the same search loops.
+class CancelToken {
+public:
+  CancelToken() = default;
+
+  /// Creates a token that also honors \p Parent (may be null).
+  explicit CancelToken(const CancelToken *Parent) : Parent(Parent) {}
+
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return Flag.load(std::memory_order_relaxed) ||
+           (Parent && Parent->cancelled());
+  }
+
+private:
+  std::atomic<bool> Flag{false};
+  const CancelToken *Parent = nullptr;
+};
+
+/// Counts down elementary inference steps; once exhausted (or the
+/// attached CancelToken fires), provers abort with a Timeout verdict.
 class Fuel {
 public:
   /// Creates an unlimited budget.
@@ -29,9 +60,19 @@ public:
   /// Creates a budget of \p Steps elementary inferences.
   explicit Fuel(uint64_t Steps) : Remaining(Steps), Limited(true) {}
 
-  /// Consumes \p Steps units; returns false once the budget is gone.
+  /// Creates an unlimited budget that still honors \p Cancel.
+  explicit Fuel(const CancelToken *Cancel) : Cancel(Cancel) {}
+
+  /// Creates a budget of \p Steps that also honors \p Cancel.
+  Fuel(uint64_t Steps, const CancelToken *Cancel)
+      : Remaining(Steps), Cancel(Cancel), Limited(true) {}
+
+  /// Consumes \p Steps units; returns false once the budget is gone or
+  /// the cancellation token (if any) has fired.
   bool consume(uint64_t Steps = 1) {
     Used += Steps;
+    if (Cancel && Cancel->cancelled())
+      return false;
     if (!Limited)
       return true;
     if (Remaining < Steps) {
@@ -42,14 +83,33 @@ public:
     return true;
   }
 
-  bool exhausted() const { return Limited && Remaining == 0; }
+  bool exhausted() const {
+    return (Limited && Remaining == 0) || cancelled();
+  }
+
+  /// True iff an attached token has fired (independently of how much
+  /// budget remains); lets callers tell a cancelled race loser from a
+  /// genuine timeout.
+  bool cancelled() const { return Cancel && Cancel->cancelled(); }
 
   /// Total units consumed so far (counts past exhaustion attempts).
   uint64_t used() const { return Used; }
 
+  /// The attached token, if any — so a scheduler can chain a derived
+  /// token off the budget it was handed.
+  const CancelToken *cancelToken() const { return Cancel; }
+
+  /// True iff this budget is bounded (constructed with a step count).
+  bool limited() const { return Limited; }
+
+  /// Steps left before exhaustion; meaningless when !limited(). Lets
+  /// a scheduler derive per-worker budgets from the one it was handed.
+  uint64_t remaining() const { return Remaining; }
+
 private:
   uint64_t Remaining = 0;
   uint64_t Used = 0;
+  const CancelToken *Cancel = nullptr;
   bool Limited = false;
 };
 

@@ -14,12 +14,14 @@
 #define SLP_TOOLS_CLIUTIL_H
 
 #include "engine/BatchProver.h"
+#include "engine/Portfolio.h"
 
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace slp {
 namespace cli {
@@ -39,6 +41,41 @@ inline bool parseUnsigned(const std::string &Text, uint64_t &Out) {
 /// Largest worker count the tools accept; far above any real machine,
 /// but keeps a typo from asking the OS for billions of threads.
 constexpr uint64_t MaxJobs = 4096;
+
+/// Parses the value of `--backend=V` for a tool named \p Tool,
+/// printing the shared diagnostic on failure. The accepted names are
+/// slp | berdine | unfolding | portfolio (and greedy as a legacy alias
+/// for unfolding).
+inline bool parseBackendOpt(const char *Tool, const std::string &Value,
+                            engine::BackendKind &Out) {
+  std::optional<engine::BackendKind> K = engine::parseBackendKind(Value);
+  if (!K) {
+    std::fprintf(stderr,
+                 "%s: unknown backend '%s' "
+                 "(slp|berdine|unfolding|portfolio)\n",
+                 Tool, Value.c_str());
+    return false;
+  }
+  Out = *K;
+  return true;
+}
+
+/// Prints the per-backend win/loss/time breakdown to stderr — one
+/// line per backend, one implementation for every tool's --stats.
+/// For single-backend runs the single line degenerates to
+/// races == definitive verdicts == wins.
+inline void printBackendStats(const std::vector<engine::BackendTally> &Ts) {
+  for (const engine::BackendTally &T : Ts)
+    std::fprintf(stderr,
+                 "backend %-9s %llu wins / %llu races "
+                 "(%llu definitive, %llu cancelled, %.3f worker-s, "
+                 "%llu fuel)\n",
+                 T.Name.c_str(), static_cast<unsigned long long>(T.Wins),
+                 static_cast<unsigned long long>(T.Races),
+                 static_cast<unsigned long long>(T.Definitive),
+                 static_cast<unsigned long long>(T.Cancelled), T.Seconds,
+                 static_cast<unsigned long long>(T.FuelUsed));
+}
 
 /// Prints the model-guided saturation counters to stderr — one
 /// implementation so every tool's --stats reports them identically.

@@ -10,8 +10,12 @@
 ///
 ///   slp-batch [options] [file]
 ///     --jobs=N        worker threads (default 1; 0 = all cores)
+///     --backend=B     slp (default) | berdine | unfolding | portfolio;
+///                     portfolio races all three per query and takes
+///                     the first definitive verdict
 ///     --cache=on|off  memoizing entailment cache (default on)
-///     --fuel=N        inference step budget per query (default unlimited)
+///     --fuel=N        inference step budget per query (default
+///                     unlimited; for portfolio, per racing backend)
 ///     --stats         print batch statistics to stderr, including the
 ///                     saturation subsumption counters (clauses deleted
 ///                     forward/backward, candidate checks vs. the
@@ -19,9 +23,10 @@
 ///                     saturation counters (attempts, Gen positions
 ///                     replay-skipped, certification checks skipped,
 ///                     normal-form memo reuses), the per-phase wall
-///                     clock (parse / prove / cache), and the
+///                     clock (parse / prove / cache), the
 ///                     worker-session reuse counters (rewinds, terms
-///                     and arena bytes reclaimed, slabs recycled)
+///                     and arena bytes reclaimed, slabs recycled), and
+///                     the per-backend win/loss/time breakdown
 ///     --no-indexed-subsumption
 ///                     disable the feature-vector subsumption index
 ///                     (verdicts are identical; for measurement)
@@ -53,9 +58,11 @@ using namespace slp;
 namespace {
 
 int usage() {
-  std::cerr << "usage: slp-batch [--jobs=N] [--cache=on|off] [--fuel=N] "
-               "[--stats] [--no-indexed-subsumption] "
-               "[--no-incremental-model] [file]\n";
+  std::cerr << "usage: slp-batch [--jobs=N] "
+               "[--backend=slp|berdine|unfolding|portfolio] "
+               "[--cache=on|off] [--fuel=N] [--stats] "
+               "[--no-indexed-subsumption] [--no-incremental-model] "
+               "[file]\n";
   return 2;
 }
 
@@ -80,6 +87,9 @@ int main(int argc, char **argv) {
         return usage();
       }
       Opts.Jobs = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--backend=", 0) == 0) {
+      if (!cli::parseBackendOpt("slp-batch", Arg.substr(10), Opts.Backend))
+        return usage();
     } else if (Arg == "--cache=on") {
       Opts.CacheEnabled = true;
     } else if (Arg == "--cache=off") {
@@ -178,6 +188,7 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(S.SubScanBaseline), Prune);
     cli::printModelGuidedStats(S, Opts.Prover.Sat.IncrementalModel);
     cli::printEngineReuseStats(S);
+    cli::printBackendStats(S.Backends);
   }
   return Exit;
 }

@@ -13,8 +13,12 @@
 ///
 ///   slp-verify [options]
 ///     --jobs=N        worker threads (default 1; 0 = all cores)
+///     --backend=B     slp (default) | berdine | unfolding | portfolio;
+///                     portfolio races all three per VC and takes the
+///                     first definitive verdict
 ///     --cache=on|off  memoizing entailment cache (default on)
-///     --fuel=N        inference step budget per VC (default unlimited)
+///     --fuel=N        inference step budget per VC (default
+///                     unlimited; for portfolio, per racing backend)
 ///     --program=NAME  verify only the named program
 ///     --list          list corpus programs and exit
 ///     --vcs           also print one line per VC with its verdict
@@ -47,9 +51,11 @@ using namespace slp;
 namespace {
 
 int usage() {
-  std::cerr << "usage: slp-verify [--jobs=N] [--cache=on|off] [--fuel=N] "
-               "[--program=NAME] [--list] [--vcs] [--stats] "
-               "[--no-indexed-subsumption] [--no-incremental-model]\n";
+  std::cerr << "usage: slp-verify [--jobs=N] "
+               "[--backend=slp|berdine|unfolding|portfolio] "
+               "[--cache=on|off] [--fuel=N] [--program=NAME] [--list] "
+               "[--vcs] [--stats] [--no-indexed-subsumption] "
+               "[--no-incremental-model]\n";
   return 2;
 }
 
@@ -75,6 +81,9 @@ int main(int argc, char **argv) {
         return usage();
       }
       Opts.Jobs = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--backend=", 0) == 0) {
+      if (!cli::parseBackendOpt("slp-verify", Arg.substr(10), Opts.Backend))
+        return usage();
     } else if (Arg == "--cache=on") {
       Opts.CacheEnabled = true;
     } else if (Arg == "--cache=off") {
@@ -172,6 +181,7 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(S.CacheHits));
     cli::printModelGuidedStats(S, Opts.Prover.Sat.IncrementalModel);
     cli::printEngineReuseStats(S);
+    cli::printBackendStats(S.Backends);
   }
   return Discharged == TotalVCs ? 0 : 1;
 }

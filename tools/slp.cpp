@@ -15,8 +15,10 @@
 ///     --dot-proof   emit the refutation as a Graphviz digraph
 ///     --dot-model   emit the countermodel heap as a Graphviz digraph
 ///     --stats       print per-query statistics
-///     --prover=P    slp (default) | berdine | greedy
-///     --fuel=N      inference step budget per query (default unlimited)
+///     --backend=B   slp (default) | berdine | unfolding | portfolio
+///                   (--prover=P is a legacy alias; greedy = unfolding)
+///     --fuel=N      inference step budget per query (default
+///                   unlimited; for portfolio, per racing backend)
 ///     --jobs=N      prove queries concurrently through the batch
 ///                   engine (verdicts only; 0 = all cores). Unlike the
 ///                   sequential path, which stops at the first bad
@@ -37,16 +39,19 @@
 
 #include "baselines/BerdineProver.h"
 #include "baselines/UnfoldingProver.h"
+#include "core/Backend.h"
 #include "core/Dot.h"
 #include "core/ProofTree.h"
 #include "core/Prover.h"
 #include "engine/BatchProver.h"
+#include "engine/Portfolio.h"
 #include "sl/Parser.h"
 #include "superposition/ProofCheck.h"
 #include "support/Timer.h"
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -61,7 +66,7 @@ struct CliOptions {
   bool DotProof = false;
   bool DotModel = false;
   bool Stats = false;
-  std::string Prover = "slp";
+  engine::BackendKind Backend = engine::BackendKind::Slp;
   uint64_t FuelSteps = 0;  // 0 = unlimited.
   unsigned Jobs = 1;       // > 1 or 0 routes through the batch engine.
   bool JobsGiven = false;
@@ -73,9 +78,9 @@ struct CliOptions {
 int usage() {
   std::cerr << "usage: slp [--proof] [--model] [--check-proof] "
                "[--dot-proof] [--dot-model] [--stats] "
-               "[--prover=slp|berdine|greedy] [--fuel=N] [--jobs=N] "
-               "[--no-indexed-subsumption] [--no-incremental-model] "
-               "[file]\n";
+               "[--backend=slp|berdine|unfolding|portfolio] [--fuel=N] "
+               "[--jobs=N] [--no-indexed-subsumption] "
+               "[--no-incremental-model] [file]\n";
   return 2;
 }
 
@@ -106,9 +111,14 @@ int main(int argc, char **argv) {
       Opts.IndexedSubsumption = false;
     else if (Arg == "--no-incremental-model")
       Opts.IncrementalModel = false;
-    else if (Arg.rfind("--prover=", 0) == 0)
-      Opts.Prover = Arg.substr(9);
-    else if (Arg.rfind("--fuel=", 0) == 0) {
+    else if (Arg.rfind("--backend=", 0) == 0) {
+      if (!cli::parseBackendOpt("slp", Arg.substr(10), Opts.Backend))
+        return usage();
+    } else if (Arg.rfind("--prover=", 0) == 0) {
+      // Legacy spelling of --backend (accepts "greedy" = unfolding).
+      if (!cli::parseBackendOpt("slp", Arg.substr(9), Opts.Backend))
+        return usage();
+    } else if (Arg.rfind("--fuel=", 0) == 0) {
       if (!parseUnsigned(Arg.substr(7), N)) {
         std::cerr << "slp: bad value in '" << Arg << "'\n";
         return usage();
@@ -133,18 +143,21 @@ int main(int argc, char **argv) {
       HaveFile = true;
     }
   }
-  if (Opts.Prover != "slp" && Opts.Prover != "berdine" &&
-      Opts.Prover != "greedy") {
-    std::cerr << "slp: unknown prover '" << Opts.Prover << "'\n";
-    return usage();
-  }
   bool UseEngine = Opts.JobsGiven && Opts.Jobs != 1;
   if (UseEngine &&
       (Opts.Proof || Opts.Model || Opts.CheckProof || Opts.DotProof ||
-       Opts.DotModel || Opts.Stats || Opts.Prover != "slp")) {
+       Opts.DotModel || Opts.Stats)) {
     std::cerr << "slp: --jobs supports plain verdict output only "
-                 "(no --proof/--model/--check-proof/--dot-*/--stats, "
-                 "prover must be slp)\n";
+                 "(no --proof/--model/--check-proof/--dot-*/--stats)\n";
+    return usage();
+  }
+  bool IsSlp = Opts.Backend == engine::BackendKind::Slp;
+  bool IsPortfolio = Opts.Backend == engine::BackendKind::Portfolio;
+  if (!UseEngine && !IsSlp &&
+      (Opts.Proof || Opts.CheckProof || Opts.DotProof || Opts.DotModel ||
+       (Opts.Model && !IsPortfolio))) {
+    std::cerr << "slp: --proof/--check-proof/--dot-* need --backend=slp "
+                 "(--model also works with --backend=portfolio)\n";
     return usage();
   }
 
@@ -175,6 +188,7 @@ int main(int argc, char **argv) {
     engine::BatchOptions EngineOpts;
     EngineOpts.Jobs = Opts.Jobs;
     EngineOpts.FuelPerQuery = Opts.FuelSteps;
+    EngineOpts.Backend = Opts.Backend;
     EngineOpts.Prover.Sat.IndexedSubsumption = Opts.IndexedSubsumption;
     EngineOpts.Prover.Sat.IncrementalModel = Opts.IncrementalModel;
     engine::BatchProver Engine(EngineOpts);
@@ -219,6 +233,12 @@ int main(int argc, char **argv) {
   core::SlpProver Slp(Terms, ProverOpts);
   baselines::BerdineProver Berdine(Terms);
   baselines::UnfoldingProver Greedy(Terms);
+  std::unique_ptr<engine::PortfolioProver> Portfolio;
+  if (IsPortfolio) {
+    engine::PortfolioOptions PO;
+    PO.Prover = ProverOpts;
+    Portfolio = std::make_unique<engine::PortfolioProver>(std::move(PO));
+  }
 
   unsigned Index = 0;
   for (const sl::Entailment &E : Parsed.Entailments) {
@@ -226,12 +246,22 @@ int main(int argc, char **argv) {
     Fuel F = Opts.FuelSteps ? Fuel(Opts.FuelSteps) : Fuel();
     Timer T;
     std::string VerdictText;
-    if (Opts.Prover == "berdine") {
+    if (Opts.Backend == engine::BackendKind::Berdine) {
       VerdictText = baselineVerdictName(Berdine.prove(E, F));
-    } else if (Opts.Prover == "greedy") {
+    } else if (Opts.Backend == engine::BackendKind::Unfolding) {
       VerdictText = Greedy.prove(E, F) == baselines::GreedyVerdict::Valid
                         ? "valid"
                         : "not-proved";
+    } else if (IsPortfolio) {
+      // Race the full backend set (each member budgeted by --fuel via
+      // F); report which member won.
+      core::ProofTask Task{sl::str(Terms, E), "", 0};
+      core::BackendResult R = Portfolio->prove(Task, F);
+      VerdictText = core::verdictName(R.V);
+      if (!R.Backend.empty())
+        VerdictText += " [" + R.Backend + "]";
+      if (Opts.Model && !R.CexText.empty())
+        VerdictText += "\n  countermodel: " + R.CexText;
     } else {
       core::ProveResult R = Slp.prove(E, F);
       VerdictText = core::verdictName(R.V);
@@ -282,5 +312,7 @@ int main(int argc, char **argv) {
       std::cout << "\n    time: " << T.seconds() << "s";
     std::cout << "\n";
   }
+  if (IsPortfolio && Opts.Stats)
+    cli::printBackendStats(Portfolio->tallies());
   return 0;
 }
