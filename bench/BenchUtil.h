@@ -20,6 +20,7 @@
 #include "core/Prover.h"
 #include "engine/BatchProver.h"
 #include "engine/Portfolio.h"
+#include "obs/Metrics.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -54,6 +55,13 @@ struct BatchResult {
   /// certification checks skipped, normal-form memo reuses.
   uint64_t ModelAttempts = 0, GenReplayedFrom = 0;
   uint64_t CertSkipped = 0, NfCacheReuse = 0;
+  /// Memoizing-cache hits over the run (0 unless SLP_BENCH_CACHE=1).
+  uint64_t CacheHits = 0;
+  /// Per-query prove-latency percentiles over this run, from the
+  /// delta of the registry's `engine.phase.prove_ns` histogram
+  /// between the run's start and end (cache hits and parse errors
+  /// record no prove sample). 0 when nothing was proved.
+  double ProveP50Ns = 0, ProveP99Ns = 0;
   /// Per-backend win/loss/time tallies (portfolio runs: one entry per
   /// racing member; single-backend runs: one entry).
   std::vector<engine::BackendTally> Backends;
@@ -102,6 +110,10 @@ inline BatchResult runBackend(engine::BackendKind Backend, TermTable &Terms,
 
   BatchResult R;
   R.Total = static_cast<unsigned>(Batch.size());
+  // The registry accumulates over the whole process; the before/after
+  // histogram delta isolates this run's prove-latency distribution.
+  const obs::HistogramSnapshot Before =
+      obs::metrics().histogram("engine.phase.prove_ns").snapshot();
   Timer T;
   engine::BatchProver Engine(Opts);
   for (const engine::QueryResult &QR : Engine.run(Queries)) {
@@ -121,7 +133,13 @@ inline BatchResult runBackend(engine::BackendKind Backend, TermTable &Terms,
   R.GenReplayedFrom = Engine.stats().GenReplayedFrom;
   R.CertSkipped = Engine.stats().CertSkipped;
   R.NfCacheReuse = Engine.stats().NfCacheReuse;
+  R.CacheHits = Engine.stats().CacheHits;
   R.Backends = Engine.stats().Backends;
+  obs::HistogramSnapshot Prove =
+      obs::metrics().histogram("engine.phase.prove_ns").snapshot().minus(
+          Before);
+  R.ProveP50Ns = Prove.quantile(0.5);
+  R.ProveP99Ns = Prove.quantile(0.99);
   if (Engine.stats().ParseErrors)
     std::fprintf(stderr,
                  "warning: %zu of %zu rendered entailments failed to "

@@ -34,16 +34,30 @@ BatchResult runSlpWith(TermTable &Terms,
   core::SlpProver Prover(Terms, Opts);
   BatchResult R;
   R.Total = static_cast<unsigned>(Batch.size());
+  // Per-instance latencies go through the registry's prove histogram
+  // (same metric the engine feeds); the before/after delta yields this
+  // config's p50/p99.
+  obs::Histogram &ProveHist =
+      obs::metrics().histogram("engine.phase.prove_ns");
+  const obs::HistogramSnapshot Before = ProveHist.snapshot();
   Timer T;
   for (const sl::Entailment &E : Batch) {
     Fuel F(FuelBudget);
+    ScopedTimer ST(ProveHist);
     core::ProveResult PR = Prover.prove(E, F);
     if (PR.V != core::Verdict::Unknown)
       ++R.Solved;
     if (PR.V == core::Verdict::Valid)
       ++R.Valid;
+    R.SubChecks += PR.Stats.SubChecks;
+    R.SubScanBaseline += PR.Stats.SubScanBaseline;
+    R.ModelAttempts += PR.Stats.ModelAttempts;
+    R.NfCacheReuse += PR.Stats.NfCacheReuse;
   }
   R.Seconds = T.seconds();
+  obs::HistogramSnapshot Delta = ProveHist.snapshot().minus(Before);
+  R.ProveP50Ns = Delta.quantile(0.5);
+  R.ProveP99Ns = Delta.quantile(0.99);
   return R;
 }
 
@@ -81,6 +95,12 @@ int main() {
     BatchResult R = runSlpWith(Terms, Batch, C.Sat, FuelBudget);
     std::printf("  SLP %-36s %s  (%u valid)\n", C.Name, cell(R).c_str(),
                 R.Valid);
+    std::printf("      p50 %.0fus p99 %.0fus; %llu model attempts, "
+                "%llu nf-cache reuses, %llu sub checks\n",
+                R.ProveP50Ns * 1e-3, R.ProveP99Ns * 1e-3,
+                static_cast<unsigned long long>(R.ModelAttempts),
+                static_cast<unsigned long long>(R.NfCacheReuse),
+                static_cast<unsigned long long>(R.SubChecks));
     std::fflush(stdout);
   }
 
@@ -88,5 +108,8 @@ int main() {
   std::printf("  %-40s %s  (%u valid)\n",
               "model-free case splitting [Berdine]", cell(Base).c_str(),
               Base.Valid);
+  std::printf("      p50 %.0fus p99 %.0fus, %llu cache hits\n",
+              Base.ProveP50Ns * 1e-3, Base.ProveP99Ns * 1e-3,
+              static_cast<unsigned long long>(Base.CacheHits));
   return 0;
 }

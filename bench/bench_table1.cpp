@@ -162,6 +162,9 @@ int main(int argc, char **argv) {
       Json->field("gen_replayed_from", Slp.GenReplayedFrom);
       Json->field("cert_skipped", Slp.CertSkipped);
       Json->field("nf_cache_reuse", Slp.NfCacheReuse);
+      Json->field("slp_cache_hits", Slp.CacheHits);
+      Json->field("slp_prove_p50_ns", Slp.ProveP50Ns);
+      Json->field("slp_prove_p99_ns", Slp.ProveP99Ns);
       Json->endRow();
     }
   }

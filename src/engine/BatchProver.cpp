@@ -8,11 +8,34 @@
 
 #include "engine/ThreadPool.h"
 #include "engine/WorkQueue.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "sl/Parser.h"
 #include "support/Timer.h"
 
 using namespace slp;
 using namespace slp::engine;
+
+namespace {
+
+/// Cached references to the per-phase latency histograms (registry
+/// objects never move, so one lookup serves the process).
+struct PhaseHistograms {
+  obs::Histogram &Parse;
+  obs::Histogram &Canon;
+  obs::Histogram &CacheNs;
+  obs::Histogram &Prove;
+};
+
+PhaseHistograms &phaseHistograms() {
+  static PhaseHistograms H{obs::metrics().histogram("engine.phase.parse_ns"),
+                           obs::metrics().histogram("engine.phase.canon_ns"),
+                           obs::metrics().histogram("engine.phase.cache_ns"),
+                           obs::metrics().histogram("engine.phase.prove_ns")};
+  return H;
+}
+
+} // namespace
 
 BatchProver::BatchProver(BatchOptions Opts)
     : Opts(Opts), Cache(Opts.Cache) {}
@@ -48,6 +71,10 @@ std::vector<BackendTally> BatchProver::Worker::tallies() const {
 
 QueryResult BatchProver::proveOne(const ProofTask &Task, Worker &W) {
   QueryResult Out;
+  PhaseHistograms &PH = phaseHistograms();
+  obs::TraceSpan QuerySpan("query");
+  if (!Task.Name.empty())
+    QuerySpan.arg("name", Task.Name);
 
   // Parse once, straight into the worker's session table on top of the
   // baseline checkpoint. TermTable is not thread safe, but sessions
@@ -55,20 +82,30 @@ QueryResult BatchProver::proveOne(const ProofTask &Task, Worker &W) {
   // term ordering the calculus uses) independent of scheduling
   // history.
   W.Session.reset();
-  Timer Phase;
-  sl::ParseResult P = sl::parseEntailment(W.Session.terms(), Task.Text);
-  W.ParseSeconds += Phase.seconds();
+  sl::ParseResult P = [&] {
+    obs::TraceSpan Span("parse");
+    ScopedTimer ST(PH.Parse, &W.ParseSeconds);
+    return sl::parseEntailment(W.Session.terms(), Task.Text);
+  }();
   if (!P.ok()) {
     Out.Status = QueryStatus::ParseError;
     Out.Error = P.Error->render();
     return Out;
   }
 
-  CanonicalQuery Q = CanonicalQuery::of(*P.Value);
+  CanonicalQuery Q = [&] {
+    obs::TraceSpan Span("canonicalize");
+    ScopedTimer ST(PH.Canon);
+    return CanonicalQuery::of(*P.Value);
+  }();
   if (Opts.CacheEnabled) {
-    Phase.restart();
-    std::optional<core::Verdict> Hit = Cache.lookup(Q);
-    W.CacheSeconds += Phase.seconds();
+    std::optional<core::Verdict> Hit;
+    {
+      obs::TraceSpan Span("cache-lookup");
+      ScopedTimer ST(PH.CacheNs, &W.CacheSeconds);
+      Hit = Cache.lookup(Q);
+      Span.arg("hit", static_cast<uint64_t>(Hit.has_value()));
+    }
     if (Hit) {
       Out.V = *Hit;
       Out.FromCache = true;
@@ -80,60 +117,73 @@ QueryResult BatchProver::proveOne(const ProofTask &Task, Worker &W) {
   // at the baseline, so the verdict is a pure function of the
   // canonical key (see the file comment in the header). The parsed
   // entailment dangles after the reset; only Q is used from here on.
+  // The prove phase covers the rebuild, as before.
   W.Session.reset();
-  Phase.restart();
-  sl::Entailment E = Q.rebuild(W.Session.terms());
   double ProveTime = 0;
+  {
+    obs::TraceSpan Span("prove");
+    ScopedTimer ST(PH.Prove, &W.ProveSeconds);
+    Timer ProveTimer;
+    sl::Entailment E = Q.rebuild(W.Session.terms());
 
-  if (!W.Backend) {
-    // Slp fast path: prove in the session directly.
-    Fuel F = Opts.FuelPerQuery ? Fuel(Opts.FuelPerQuery) : Fuel();
-    core::ProveResult R = W.Session.prove(E, F);
-    ProveTime = Phase.seconds();
-    W.ProveSeconds += ProveTime;
-    Out.V = R.V;
-    Out.FuelUsed = R.Stats.FuelUsed;
-    Out.SubsumedFwd = R.Stats.SubsumedFwd;
-    Out.SubsumedBwd = R.Stats.SubsumedBwd;
-    Out.SubChecks = R.Stats.SubChecks;
-    Out.SubScanBaseline = R.Stats.SubScanBaseline;
-    Out.ModelAttempts = R.Stats.ModelAttempts;
-    Out.GenReplayedFrom = R.Stats.GenReplayedFrom;
-    Out.CertSkipped = R.Stats.CertSkipped;
-    Out.NfCacheReuse = R.Stats.NfCacheReuse;
-    if (R.V != core::Verdict::Unknown)
-      Out.Backend = W.Tally.Name;
-  } else {
-    // Backend path: hand the canonical form to the backend as text
-    // (its own tables, its own parse), so racing members never touch
-    // the worker session.
-    ProofTask Canon{sl::str(W.Session.terms(), E), Task.Name, Task.Group};
-    Fuel F = Opts.FuelPerQuery ? Fuel(Opts.FuelPerQuery) : Fuel();
-    core::BackendResult BR = W.Backend->prove(Canon, F);
-    ProveTime = Phase.seconds();
-    W.ProveSeconds += ProveTime;
-    if (!BR.Parsed) {
-      // Cannot happen for text we rendered ourselves, but surface it
-      // rather than miscount.
-      Out.Status = QueryStatus::ParseError;
-      Out.Error = BR.Error;
-      return Out;
+    if (!W.Backend) {
+      // Slp fast path: prove in the session directly.
+      Fuel F = Opts.FuelPerQuery ? Fuel(Opts.FuelPerQuery) : Fuel();
+      core::ProveResult R = W.Session.prove(E, F);
+      ProveTime = ProveTimer.seconds();
+      Out.V = R.V;
+      Out.FuelUsed = R.Stats.FuelUsed;
+      Out.SubsumedFwd = R.Stats.SubsumedFwd;
+      Out.SubsumedBwd = R.Stats.SubsumedBwd;
+      Out.SubChecks = R.Stats.SubChecks;
+      Out.SubScanBaseline = R.Stats.SubScanBaseline;
+      Out.ModelAttempts = R.Stats.ModelAttempts;
+      Out.GenReplayedFrom = R.Stats.GenReplayedFrom;
+      Out.CertSkipped = R.Stats.CertSkipped;
+      Out.NfCacheReuse = R.Stats.NfCacheReuse;
+      if (R.V != core::Verdict::Unknown)
+        Out.Backend = W.Tally.Name;
+    } else {
+      // Backend path: hand the canonical form to the backend as text
+      // (its own tables, its own parse), so racing members never touch
+      // the worker session.
+      ProofTask Canon{sl::str(W.Session.terms(), E), Task.Name, Task.Group};
+      Fuel F = Opts.FuelPerQuery ? Fuel(Opts.FuelPerQuery) : Fuel();
+      core::BackendResult BR = W.Backend->prove(Canon, F);
+      ProveTime = ProveTimer.seconds();
+      if (!BR.Parsed) {
+        // Cannot happen for text we rendered ourselves, but surface it
+        // rather than miscount.
+        Out.Status = QueryStatus::ParseError;
+        Out.Error = BR.Error;
+        return Out;
+      }
+      Out.V = BR.V;
+      Out.FuelUsed = BR.FuelUsed;
+      // Per the header contract, Backend names a verdict's producer;
+      // nobody vouches for Unknown (single backends name themselves in
+      // BR.Backend unconditionally, the portfolio already clears it).
+      if (BR.V != core::Verdict::Unknown)
+        Out.Backend = BR.Backend;
+      Out.SubsumedFwd = BR.Stats.SubsumedFwd;
+      Out.SubsumedBwd = BR.Stats.SubsumedBwd;
+      Out.SubChecks = BR.Stats.SubChecks;
+      Out.SubScanBaseline = BR.Stats.SubScanBaseline;
+      Out.ModelAttempts = BR.Stats.ModelAttempts;
+      Out.GenReplayedFrom = BR.Stats.GenReplayedFrom;
+      Out.CertSkipped = BR.Stats.CertSkipped;
+      Out.NfCacheReuse = BR.Stats.NfCacheReuse;
     }
-    Out.V = BR.V;
-    Out.FuelUsed = BR.FuelUsed;
-    // Per the header contract, Backend names a verdict's producer;
-    // nobody vouches for Unknown (single backends name themselves in
-    // BR.Backend unconditionally, the portfolio already clears it).
-    if (BR.V != core::Verdict::Unknown)
-      Out.Backend = BR.Backend;
-    Out.SubsumedFwd = BR.Stats.SubsumedFwd;
-    Out.SubsumedBwd = BR.Stats.SubsumedBwd;
-    Out.SubChecks = BR.Stats.SubChecks;
-    Out.SubScanBaseline = BR.Stats.SubScanBaseline;
-    Out.ModelAttempts = BR.Stats.ModelAttempts;
-    Out.GenReplayedFrom = BR.Stats.GenReplayedFrom;
-    Out.CertSkipped = BR.Stats.CertSkipped;
-    Out.NfCacheReuse = BR.Stats.NfCacheReuse;
+    Span.arg("verdict", std::string(Out.verdictText()));
+    if (!Out.Backend.empty())
+      Span.arg("backend", Out.Backend);
+    Span.arg("fuel", Out.FuelUsed);
+    if (Out.ModelAttempts) {
+      Span.arg("model_attempts", Out.ModelAttempts);
+      Span.arg("gen_replayed_from", Out.GenReplayedFrom);
+      Span.arg("cert_skipped", Out.CertSkipped);
+      Span.arg("nf_cache_reuse", Out.NfCacheReuse);
+    }
   }
 
   // Single-backend accounting (the portfolio keeps its own tallies).
@@ -147,9 +197,9 @@ QueryResult BatchProver::proveOne(const ProofTask &Task, Worker &W) {
   }
 
   if (Opts.CacheEnabled) {
-    Phase.restart();
+    obs::TraceSpan Span("cache-insert");
+    ScopedTimer ST(PH.CacheNs, &W.CacheSeconds);
     Cache.insert(Q, Out.V);
-    W.CacheSeconds += Phase.seconds();
   }
   return Out;
 }
@@ -177,7 +227,7 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
       Results[I] = proveOne(Tasks[I], W);
     Retire(W);
   } else {
-    WorkQueue Queue(Tasks.size());
+    WorkQueue Queue(Tasks.size(), &obs::metrics().gauge("engine.queue.depth"));
     ThreadPool Pool(Jobs);
     std::vector<std::unique_ptr<Worker>> Workers(Jobs);
     for (unsigned J = 0; J != Jobs; ++J)
@@ -253,6 +303,32 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
       break;
     }
   }
+
+  // Mirror the run's aggregates into the global metrics registry —
+  // monotone counters accumulated over every run() of the process, the
+  // payload behind --metrics-json and the snapshot-based --stats
+  // printers. BatchStats above stays the per-run source of truth.
+  obs::MetricsRegistry &Reg = obs::metrics();
+  Reg.counter("engine.queries").inc(Stats.Queries);
+  Reg.counter("engine.parse_errors").inc(Stats.ParseErrors);
+  Reg.counter("engine.valid").inc(Stats.Valid);
+  Reg.counter("engine.invalid").inc(Stats.Invalid);
+  Reg.counter("engine.unknown").inc(Stats.Unknown);
+  Reg.gauge("engine.sessions").set(static_cast<int64_t>(Stats.Sessions));
+  Reg.counter("session.resets").inc(Stats.SessionResets);
+  Reg.counter("session.terms_reclaimed").inc(Stats.TermsReclaimed);
+  Reg.counter("session.arena_bytes_reclaimed").inc(Stats.ArenaBytesReclaimed);
+  Reg.counter("session.arena_slabs_reused").inc(Stats.ArenaSlabsReused);
+  Reg.counter("sat.model_attempts").inc(Stats.ModelAttempts);
+  Reg.counter("sat.gen_replayed_from").inc(Stats.GenReplayedFrom);
+  Reg.counter("sat.cert_skipped").inc(Stats.CertSkipped);
+  Reg.counter("sat.nf_cache_reuse").inc(Stats.NfCacheReuse);
+  Reg.counter("sat.subsumed_fwd").inc(Stats.SubsumedFwd);
+  Reg.counter("sat.subsumed_bwd").inc(Stats.SubsumedBwd);
+  Reg.counter("sat.sub_checks").inc(Stats.SubChecks);
+  Reg.counter("sat.sub_scan_baseline").inc(Stats.SubScanBaseline);
+  publishBackendTallies(Stats.Backends);
+
   return Results;
 }
 

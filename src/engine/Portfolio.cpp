@@ -7,6 +7,8 @@
 #include "engine/Portfolio.h"
 
 #include "baselines/Backends.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -59,12 +61,26 @@ engine::makeBackend(BackendKind K, const core::ProverOptions &Opts) {
   return nullptr;
 }
 
+void engine::publishBackendTallies(const std::vector<BackendTally> &Tallies) {
+  obs::MetricsRegistry &Reg = obs::metrics();
+  for (const BackendTally &T : Tallies) {
+    std::string P = "backend." + T.Name + ".";
+    Reg.counter(P + "races").inc(T.Races);
+    Reg.counter(P + "wins").inc(T.Wins);
+    Reg.counter(P + "definitive").inc(T.Definitive);
+    Reg.counter(P + "cancelled").inc(T.Cancelled);
+    Reg.counter(P + "fuel").inc(T.FuelUsed);
+    Reg.counter(P + "time_ns").inc(static_cast<uint64_t>(T.Seconds * 1e9));
+  }
+}
+
 PortfolioProver::PortfolioProver(PortfolioOptions O) : Opts(std::move(O)) {
   assert(!Opts.Backends.empty() && "portfolio needs at least one member");
   for (BackendKind K : Opts.Backends) {
     assert(K != BackendKind::Portfolio && "portfolios do not nest");
     Members.push_back(makeBackend(K, Opts.Prover));
     Tallies.push_back(BackendTally{Members.back()->name(), 0, 0, 0, 0, 0, 0});
+    RaceSpanNames.push_back(std::string("race:") + Members.back()->name());
   }
   Slots.resize(Members.size());
 
@@ -111,6 +127,8 @@ bool PortfolioProver::complete() const {
 }
 
 void PortfolioProver::runMember(size_t I) {
+  // Span names are precomputed so the disabled path allocates nothing.
+  obs::TraceSpan Span(RaceSpanNames[I].c_str());
   Timer T;
   Fuel MF = RaceBudget ? Fuel(RaceBudget, Cancel) : Fuel(Cancel);
   Slot &S = Slots[I];
@@ -122,6 +140,10 @@ void PortfolioProver::runMember(size_t I) {
     Cancel->cancel(); // Decided: stop the losers.
   else
     S.Cancelled = MF.cancelled();
+  Span.arg("seq", static_cast<uint64_t>(S.Seq));
+  Span.arg("fuel", S.FuelUsed);
+  Span.arg("definitive", static_cast<uint64_t>(S.R.definitive()));
+  Span.arg("cancelled", static_cast<uint64_t>(S.Cancelled));
 }
 
 core::BackendResult PortfolioProver::prove(const core::ProofTask &T,

@@ -79,6 +79,15 @@ struct BackendTally {
   uint64_t FuelUsed = 0;   ///< Inference steps summed over races.
 };
 
+/// Adds \p Tallies into the global metrics registry as
+/// `backend.<name>.{races,wins,definitive,cancelled,fuel,time_ns}`
+/// counters, registered in member order so snapshots report backends
+/// in the same order the tallies do. Everything that runs backends
+/// (the batch engine after a run, the sequential portfolio path in the
+/// `slp` tool) publishes through this one function, and the `--stats`
+/// backend breakdown renders from the resulting snapshot.
+void publishBackendTallies(const std::vector<BackendTally> &Tallies);
+
 /// Portfolio configuration.
 struct PortfolioOptions {
   /// The racing members, in tally/reporting order. Must be non-empty
@@ -142,6 +151,9 @@ private:
   PortfolioOptions Opts;
   std::vector<std::unique_ptr<core::EntailmentBackend>> Members;
   std::vector<BackendTally> Tallies;
+  /// "race:<member>" trace-span names, precomputed so runMember's span
+  /// costs one relaxed load when tracing is off.
+  std::vector<std::string> RaceSpanNames;
 
   /// Race plumbing. Task/Cancel describe the in-flight race; they are
   /// published under M before the workers are woken and stay fixed

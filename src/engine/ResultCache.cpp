@@ -11,7 +11,12 @@
 using namespace slp;
 using namespace slp::engine;
 
-ResultCache::ResultCache(Options Opts) {
+ResultCache::ResultCache(Options Opts)
+    : HitsMetric(obs::metrics().counter("cache.hits")),
+      MissesMetric(obs::metrics().counter("cache.misses")),
+      InsertionsMetric(obs::metrics().counter("cache.insertions")),
+      EvictionsMetric(obs::metrics().counter("cache.evictions")),
+      EntriesMetric(obs::metrics().gauge("cache.entries")) {
   size_t NumShards = std::max<size_t>(1, Opts.NumShards);
   // Distribute the requested bound across shards, spreading the
   // remainder over the first MaxEntries % NumShards shards so the
@@ -33,9 +38,11 @@ std::optional<core::Verdict> ResultCache::lookup(const CanonicalQuery &Q) {
   auto It = S.Map.find(Q.key());
   if (It == S.Map.end()) {
     ++S.Misses;
+    MissesMetric.inc();
     return std::nullopt;
   }
   ++S.Hits;
+  HitsMetric.inc();
   S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
   return It->second->second;
 }
@@ -49,10 +56,14 @@ void ResultCache::insert(const CanonicalQuery &Q, core::Verdict V) {
     S.Map.erase(S.Lru.back().first);
     S.Lru.pop_back();
     ++S.Evictions;
+    EvictionsMetric.inc();
+    EntriesMetric.add(-1);
   }
   S.Lru.emplace_front(Q.key(), V);
   S.Map.emplace(S.Lru.front().first, S.Lru.begin());
   ++S.Insertions;
+  InsertionsMetric.inc();
+  EntriesMetric.add(1);
 }
 
 CacheStats ResultCache::stats() const {
@@ -87,6 +98,7 @@ size_t ResultCache::capacity() const {
 void ResultCache::clear() {
   for (const std::unique_ptr<Shard> &S : Shards) {
     std::lock_guard<std::mutex> Lock(S->M);
+    EntriesMetric.add(-static_cast<int64_t>(S->Lru.size()));
     S->Map.clear();
     S->Lru.clear();
   }

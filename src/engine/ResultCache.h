@@ -23,6 +23,7 @@
 
 #include "core/Prover.h"
 #include "engine/CanonicalKey.h"
+#include "obs/Metrics.h"
 
 #include <list>
 #include <memory>
@@ -59,6 +60,8 @@ public:
 
   ResultCache() : ResultCache(Options()) {}
   explicit ResultCache(Options Opts);
+  /// Releases this cache's contribution to the `cache.entries` gauge.
+  ~ResultCache() { clear(); }
 
   /// Returns the memoized verdict for \p Q, refreshing its LRU slot;
   /// nullopt on a miss. Thread safe.
@@ -102,6 +105,15 @@ private:
   }
 
   std::vector<std::unique_ptr<Shard>> Shards;
+
+  /// Registry mirrors of the shard counters (`cache.*`), accumulated
+  /// across every cache instance of the process; the per-instance
+  /// stats() above stays the source for per-run accounting.
+  obs::Counter &HitsMetric;
+  obs::Counter &MissesMetric;
+  obs::Counter &InsertionsMetric;
+  obs::Counter &EvictionsMetric;
+  obs::Gauge &EntriesMetric;
 };
 
 } // namespace engine

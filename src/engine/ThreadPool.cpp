@@ -6,6 +6,8 @@
 
 #include "engine/ThreadPool.h"
 
+#include "obs/Metrics.h"
+
 using namespace slp;
 using namespace slp::engine;
 
@@ -14,6 +16,7 @@ ThreadPool::ThreadPool(unsigned NumThreads) {
   Workers.reserve(N);
   for (unsigned I = 0; I != N; ++I)
     Workers.emplace_back([this] { workerLoop(); });
+  obs::metrics().gauge("engine.pool.threads").add(N);
 }
 
 ThreadPool::~ThreadPool() {
@@ -24,6 +27,8 @@ ThreadPool::~ThreadPool() {
   TaskReady.notify_all();
   for (std::thread &W : Workers)
     W.join();
+  obs::metrics().gauge("engine.pool.threads")
+      .add(-static_cast<int64_t>(Workers.size()));
 }
 
 void ThreadPool::submit(std::function<void()> Task) {

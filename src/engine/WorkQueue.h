@@ -15,6 +15,8 @@
 #ifndef SLP_ENGINE_WORKQUEUE_H
 #define SLP_ENGINE_WORKQUEUE_H
 
+#include "obs/Metrics.h"
+
 #include <atomic>
 #include <cstddef>
 
@@ -24,7 +26,14 @@ namespace engine {
 /// Hands out [0, size) across threads, each index exactly once.
 class WorkQueue {
 public:
-  explicit WorkQueue(size_t Size) : Size(Size) {}
+  /// \p Depth, when given, is kept at the racy remaining() count on
+  /// every pop (a relaxed store), so a metrics snapshot taken mid-run
+  /// sees the queue draining.
+  explicit WorkQueue(size_t Size, obs::Gauge *Depth = nullptr)
+      : Size(Size), Depth(Depth) {
+    if (Depth)
+      Depth->set(static_cast<int64_t>(Size));
+  }
 
   WorkQueue(const WorkQueue &) = delete;
   WorkQueue &operator=(const WorkQueue &) = delete;
@@ -32,6 +41,8 @@ public:
   /// Claims the next index into \p Index; false once drained.
   bool pop(size_t &Index) {
     size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+    if (Depth)
+      Depth->set(static_cast<int64_t>(I + 1 >= Size ? 0 : Size - I - 1));
     if (I >= Size)
       return false;
     Index = I;
@@ -49,6 +60,7 @@ public:
 private:
   std::atomic<size_t> Next{0};
   const size_t Size;
+  obs::Gauge *Depth; ///< Optional `engine.queue.depth` mirror.
 };
 
 } // namespace engine

@@ -1,0 +1,152 @@
+//===- obs/Trace.cpp - Chrome trace-event recording ---------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Metrics.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace slp;
+using namespace slp::obs;
+
+namespace {
+
+/// Small dense per-thread id for the "tid" field (thread::id is
+/// opaque and wide; Perfetto tracks lanes better with small ints).
+unsigned threadTraceId() {
+  static std::atomic<unsigned> Next{1};
+  thread_local unsigned Tid = Next.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+TraceRecorder &TraceRecorder::global() {
+  static TraceRecorder R;
+  return R;
+}
+
+void TraceRecorder::start(std::string OutPath) {
+  std::lock_guard<std::mutex> Lock(M);
+  Path = std::move(OutPath);
+  Buffers.clear();
+  StartTimeNs = steadyNowNs();
+  Epoch.fetch_add(1, std::memory_order_relaxed);
+  Enabled.store(true, std::memory_order_relaxed);
+}
+
+uint64_t TraceRecorder::nowNs() const {
+  uint64_t Now = steadyNowNs();
+  return Now >= StartTimeNs ? Now - StartTimeNs : 0;
+}
+
+TraceRecorder::Buffer &TraceRecorder::localBuffer() {
+  thread_local TraceRecorder *Owner = nullptr;
+  thread_local uint64_t SeenEpoch = 0;
+  thread_local Buffer *B = nullptr;
+  uint64_t E = Epoch.load(std::memory_order_relaxed);
+  if (Owner != this || SeenEpoch != E || !B) {
+    std::lock_guard<std::mutex> Lock(M);
+    Buffers.push_back(std::make_unique<Buffer>());
+    B = Buffers.back().get();
+    Owner = this;
+    SeenEpoch = E;
+  }
+  return *B;
+}
+
+void TraceRecorder::complete(std::string Name, uint64_t StartNs,
+                             uint64_t DurNs, std::vector<TraceArg> Args) {
+  if (!enabled())
+    return;
+  Buffer &B = localBuffer();
+  B.Events.push_back(
+      Event{std::move(Name), StartNs, DurNs, threadTraceId(),
+            std::move(Args)});
+}
+
+size_t TraceRecorder::eventCount() const {
+  std::lock_guard<std::mutex> Lock(M);
+  size_t N = 0;
+  for (const std::unique_ptr<Buffer> &B : Buffers)
+    N += B->Events.size();
+  return N;
+}
+
+void TraceRecorder::discard() {
+  Enabled.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(M);
+  Buffers.clear();
+  Path.clear();
+}
+
+bool TraceRecorder::finish() {
+  Enabled.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(M);
+  if (Path.empty()) {
+    Buffers.clear();
+    return false;
+  }
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    Buffers.clear();
+    Path.clear();
+    return false;
+  }
+
+  // Timestamps and durations are microseconds in the trace-event
+  // format; keep ns resolution through the fraction digits.
+  std::fputs("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [", Out);
+  bool FirstEvent = true;
+  std::string Buf;
+  for (const std::unique_ptr<Buffer> &B : Buffers)
+    for (const Event &E : B->Events) {
+      Buf.clear();
+      Buf += FirstEvent ? "\n" : ",\n";
+      FirstEvent = false;
+      Buf += "{\"name\": \"";
+      appendJsonEscaped(Buf, E.Name);
+      Buf += "\", \"cat\": \"slp\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+      Buf += std::to_string(E.Tid);
+      char Num[64];
+      std::snprintf(Num, sizeof(Num), ", \"ts\": %.3f, \"dur\": %.3f",
+                    E.StartNs / 1000.0, E.DurNs / 1000.0);
+      Buf += Num;
+      if (!E.Args.empty()) {
+        Buf += ", \"args\": {";
+        for (size_t I = 0; I != E.Args.size(); ++I) {
+          if (I)
+            Buf += ", ";
+          Buf += '"';
+          appendJsonEscaped(Buf, E.Args[I].Key);
+          Buf += "\": ";
+          if (E.Args[I].IsString) {
+            Buf += '"';
+            appendJsonEscaped(Buf, E.Args[I].Str);
+            Buf += '"';
+          } else {
+            Buf += std::to_string(E.Args[I].Num);
+          }
+        }
+        Buf += "}";
+      }
+      Buf += "}";
+      std::fputs(Buf.c_str(), Out);
+    }
+  std::fputs("\n]}\n", Out);
+  Buffers.clear();
+  Path.clear();
+  return std::fclose(Out) == 0;
+}

@@ -1,0 +1,168 @@
+//===- obs/Trace.h - Chrome trace-event recording ---------------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-query phase tracing in the Chrome trace-event format (the JSON
+/// that chrome://tracing and Perfetto load directly). The tools enable
+/// the global recorder with `--trace=<file>`; instrumented code opens
+/// RAII TraceSpans around its phases (parse, canonicalize,
+/// cache-lookup, prove, per-saturation-attempt, per-portfolio-member)
+/// and attaches counters as span args. When the recorder is disabled —
+/// the default — a span is one relaxed bool load, so the hot paths pay
+/// nothing.
+///
+/// Events are buffered per thread (one mutex acquisition per thread
+/// per epoch, none per event) and merged into a single
+/// `{"traceEvents": [...]}` document by finish(). Only complete ("X")
+/// events are emitted, so a trace is well-formed by construction —
+/// there are no B/E pairs to unbalance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_OBS_TRACE_H
+#define SLP_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace slp {
+namespace obs {
+
+/// One key/value pair attached to a span ("args" in the trace format).
+/// Values are either unsigned numbers (counters, ids) or strings
+/// (verdicts, backend names).
+struct TraceArg {
+  TraceArg(std::string Key, uint64_t Value)
+      : Key(std::move(Key)), Num(Value), IsString(false) {}
+  TraceArg(std::string Key, std::string Value)
+      : Key(std::move(Key)), Str(std::move(Value)), IsString(true) {}
+
+  std::string Key;
+  std::string Str;
+  uint64_t Num = 0;
+  bool IsString;
+};
+
+/// Collects complete ("X") trace events and writes them as one Chrome
+/// trace-event JSON document. Thread safe: each recording thread owns
+/// a buffer; start()/finish() must not race with in-flight spans
+/// (the tools start before and finish after the engine runs).
+class TraceRecorder {
+public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder &) = delete;
+  TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+  /// The process-wide recorder TraceSpan records into.
+  static TraceRecorder &global();
+
+  /// Enables recording; events timestamp relative to this call.
+  /// finish() will write to \p Path.
+  void start(std::string Path);
+
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since start() on the steady clock.
+  uint64_t nowNs() const;
+
+  /// Records one complete event (start + duration in ns). No-op when
+  /// disabled.
+  void complete(std::string Name, uint64_t StartNs, uint64_t DurNs,
+                std::vector<TraceArg> Args = {});
+
+  /// Writes the collected events to the start() path and disables the
+  /// recorder. False on IO failure (the recorder is still disabled and
+  /// drained). No-op false when never started.
+  bool finish();
+
+  /// Disables and drops all buffered events without writing (tests).
+  void discard();
+
+  /// Buffered event count (tests).
+  size_t eventCount() const;
+
+private:
+  struct Event {
+    std::string Name;
+    uint64_t StartNs;
+    uint64_t DurNs;
+    unsigned Tid;
+    std::vector<TraceArg> Args;
+  };
+  struct Buffer {
+    std::vector<Event> Events;
+  };
+
+  Buffer &localBuffer();
+
+  std::atomic<bool> Enabled{false};
+  std::atomic<uint64_t> Epoch{0}; ///< Bumped per start(); invalidates
+                                  ///< threads' cached buffer pointers.
+  uint64_t StartTimeNs = 0;       ///< Steady-clock origin of ts 0.
+  mutable std::mutex M;
+  std::string Path;
+  std::vector<std::unique_ptr<Buffer>> Buffers;
+};
+
+/// RAII span: measures construction-to-destruction on the steady clock
+/// and records one complete event into the global recorder. When the
+/// recorder is disabled the constructor is a single relaxed load and
+/// everything else no-ops.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char *Name)
+      : On(TraceRecorder::global().enabled()) {
+    if (On) {
+      this->Name = Name;
+      Start = TraceRecorder::global().nowNs();
+    }
+  }
+  explicit TraceSpan(std::string NameStr)
+      : On(TraceRecorder::global().enabled()) {
+    if (On) {
+      Name = std::move(NameStr);
+      Start = TraceRecorder::global().nowNs();
+    }
+  }
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  bool active() const { return On; }
+
+  /// Attaches a counter/string to the span's args (no-op when
+  /// disabled, so callers can pass args unconditionally).
+  void arg(const char *Key, uint64_t Value) {
+    if (On)
+      Args.emplace_back(Key, Value);
+  }
+  void arg(const char *Key, std::string Value) {
+    if (On)
+      Args.emplace_back(Key, std::move(Value));
+  }
+
+  ~TraceSpan() {
+    if (!On)
+      return;
+    TraceRecorder &R = TraceRecorder::global();
+    R.complete(std::move(Name), Start, R.nowNs() - Start, std::move(Args));
+  }
+
+private:
+  bool On;
+  std::string Name;
+  uint64_t Start = 0;
+  std::vector<TraceArg> Args;
+};
+
+} // namespace obs
+} // namespace slp
+
+#endif // SLP_OBS_TRACE_H

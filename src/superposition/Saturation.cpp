@@ -6,6 +6,8 @@
 
 #include "superposition/Saturation.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 
 using namespace slp;
@@ -417,8 +419,15 @@ SatResult Saturation::saturateModelGuided(
       return SatResult::Unsatisfiable;
 
     if (StepsUntilAttempt == 0 || Passive.empty()) {
-      // Attempt a certified model of everything stored so far.
+      // Attempt a certified model of everything stored so far. The
+      // span args carry this attempt's share of the incremental-replay
+      // counters (deltas, not running totals).
+      obs::TraceSpan Span("model-attempt");
       ++Stats.ModelAttempts;
+      Span.arg("attempt", Stats.ModelAttempts);
+      uint64_t GenReplayed0 = Stats.GenReplayedFrom;
+      uint64_t CertSkipped0 = Stats.CertSkipped;
+      uint64_t NfReuse0 = Stats.NfCacheReuse;
       bool Certified;
       if (Opts.IncrementalModel) {
         Certified = attemptModelIncremental(Model);
@@ -429,6 +438,10 @@ SatResult Saturation::saturateModelGuided(
         if (Certified)
           Model.emplace(std::move(R));
       }
+      Span.arg("gen_replayed_from", Stats.GenReplayedFrom - GenReplayed0);
+      Span.arg("cert_skipped", Stats.CertSkipped - CertSkipped0);
+      Span.arg("nf_cache_reuse", Stats.NfCacheReuse - NfReuse0);
+      Span.arg("certified", static_cast<uint64_t>(Certified));
       if (Certified)
         return SatResult::Saturated;
       if (Passive.empty()) {

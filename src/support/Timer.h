@@ -5,14 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Minimal monotonic stopwatch for the benchmark harnesses.
+/// Monotonic stopwatches over std::chrono::steady_clock — the plain
+/// Timer for the benchmark harnesses, and ScopedTimer, which reports
+/// one sample into a latency histogram (and optionally a plain-double
+/// accumulator) on scope exit. Every phase measurement in the engine
+/// goes through ScopedTimer, so the per-run phase seconds and the
+/// registry's latency distributions are the same clock reads.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SLP_SUPPORT_TIMER_H
 #define SLP_SUPPORT_TIMER_H
 
+#include "obs/Metrics.h"
+
 #include <chrono>
+#include <cstdint>
 
 namespace slp {
 
@@ -26,11 +34,46 @@ public:
     return std::chrono::duration<double>(Clock::now() - Start).count();
   }
 
+  /// Whole nanoseconds elapsed since construction or the last
+  /// restart().
+  uint64_t nanoseconds() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             Start)
+            .count());
+  }
+
   void restart() { Start = Clock::now(); }
 
 private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point Start;
+};
+
+/// Times its own scope and records the elapsed nanoseconds into a
+/// histogram on destruction; when \p AccumSeconds is given, the same
+/// measurement is also added there (one clock pair for both), so
+/// per-run aggregate seconds and the latency distribution can never
+/// disagree.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(obs::Histogram &H, double *AccumSeconds = nullptr)
+      : Hist(H), Accum(AccumSeconds) {}
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  ~ScopedTimer() {
+    uint64_t Ns = T.nanoseconds();
+    Hist.record(Ns);
+    if (Accum)
+      *Accum += Ns * 1e-9;
+  }
+
+private:
+  Timer T;
+  obs::Histogram &Hist;
+  double *Accum;
 };
 
 } // namespace slp

@@ -1,0 +1,146 @@
+//===- tests/obs/TraceTest.cpp - Trace recorder tests -------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "../TestUtil.h"
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace slp;
+using namespace slp::obs;
+
+namespace {
+
+/// Unique-per-test temp path under the build directory's cwd.
+std::string tempTracePath(const char *Tag) {
+  return std::string("trace_test_") + Tag + ".json";
+}
+
+TEST(TraceRecorder, DisabledSpansAreNoOps) {
+  TraceRecorder &R = TraceRecorder::global();
+  R.discard(); // Known-disabled baseline.
+  EXPECT_FALSE(R.enabled());
+  {
+    TraceSpan Span("ignored");
+    EXPECT_FALSE(Span.active());
+    Span.arg("k", uint64_t(1));
+    Span.arg("s", std::string("v"));
+  }
+  EXPECT_EQ(R.eventCount(), 0u);
+  EXPECT_FALSE(R.finish()) << "finish without start must report false";
+}
+
+TEST(TraceRecorder, DiscardDropsBufferedEvents) {
+  TraceRecorder &R = TraceRecorder::global();
+  R.discard();
+  R.start(tempTracePath("discard"));
+  { TraceSpan Span("dropped"); }
+  EXPECT_EQ(R.eventCount(), 1u);
+  R.discard();
+  EXPECT_FALSE(R.enabled());
+  EXPECT_EQ(R.eventCount(), 0u);
+}
+
+TEST(TraceRecorder, WritesWellFormedChromeTrace) {
+  const std::string Path = tempTracePath("wellformed");
+  TraceRecorder &R = TraceRecorder::global();
+  R.discard();
+  R.start(Path);
+  ASSERT_TRUE(R.enabled());
+
+  // Spans from the main thread and from workers, with args of both
+  // kinds — the same shapes the engine emits.
+  {
+    TraceSpan Span("query");
+    Span.arg("name", std::string("q\"uoted\\name"));
+    Span.arg("seq", uint64_t(7));
+  }
+  std::vector<std::thread> Ts;
+  for (int T = 0; T != 4; ++T)
+    Ts.emplace_back([] {
+      for (int I = 0; I != 8; ++I) {
+        TraceSpan Span("prove");
+        Span.arg("i", static_cast<uint64_t>(I));
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(R.eventCount(), 1u + 4 * 8);
+  ASSERT_TRUE(R.finish());
+  EXPECT_FALSE(R.enabled());
+
+  std::string Text = test::readFile(Path);
+  std::remove(Path.c_str());
+  ASSERT_FALSE(Text.empty());
+  std::unique_ptr<test::Json> Doc = test::parseJson(Text);
+  ASSERT_TRUE(Doc) << Text;
+
+  const test::Json *Events = Doc->get("traceEvents");
+  ASSERT_TRUE(Events);
+  ASSERT_EQ(Events->K, test::Json::Kind::Array);
+  ASSERT_EQ(Events->Arr.size(), 1u + 4 * 8);
+
+  bool SawQuery = false;
+  for (const test::Json &E : Events->Arr) {
+    const test::Json *Ph = E.get("ph");
+    ASSERT_TRUE(Ph);
+    EXPECT_EQ(Ph->Str, "X") << "only complete events are emitted";
+    ASSERT_TRUE(E.get("name"));
+    ASSERT_TRUE(E.get("pid"));
+    ASSERT_TRUE(E.get("tid"));
+    const test::Json *Ts = E.get("ts");
+    const test::Json *Dur = E.get("dur");
+    ASSERT_TRUE(Ts && Dur);
+    EXPECT_EQ(Ts->K, test::Json::Kind::Number);
+    EXPECT_EQ(Dur->K, test::Json::Kind::Number);
+    EXPECT_GE(Ts->Num, 0.0);
+    EXPECT_GE(Dur->Num, 0.0);
+    if (E.get("name")->Str == "query") {
+      SawQuery = true;
+      const test::Json *Args = E.get("args");
+      ASSERT_TRUE(Args);
+      ASSERT_TRUE(Args->get("name"));
+      EXPECT_EQ(Args->get("name")->Str, "q\"uoted\\name")
+          << "string args must round-trip through JSON escaping";
+      ASSERT_TRUE(Args->get("seq"));
+      EXPECT_EQ(Args->get("seq")->Num, 7.0);
+    }
+  }
+  EXPECT_TRUE(SawQuery);
+}
+
+TEST(TraceRecorder, RestartAfterFinishCollectsFreshEvents) {
+  const std::string Path = tempTracePath("restart");
+  TraceRecorder &R = TraceRecorder::global();
+  R.discard();
+
+  R.start(Path);
+  { TraceSpan Span("first"); }
+  ASSERT_TRUE(R.finish());
+
+  // Second epoch: the thread's cached buffer from epoch one must not
+  // leak stale events into the new trace.
+  R.start(Path);
+  { TraceSpan Span("second"); }
+  EXPECT_EQ(R.eventCount(), 1u);
+  ASSERT_TRUE(R.finish());
+
+  std::string Text = test::readFile(Path);
+  std::remove(Path.c_str());
+  std::unique_ptr<test::Json> Doc = test::parseJson(Text);
+  ASSERT_TRUE(Doc);
+  const test::Json *Events = Doc->get("traceEvents");
+  ASSERT_TRUE(Events);
+  ASSERT_EQ(Events->Arr.size(), 1u);
+  EXPECT_EQ(Events->Arr[0].get("name")->Str, "second");
+}
+
+} // namespace

@@ -15,12 +15,15 @@
 
 #include "engine/BatchProver.h"
 #include "engine/Portfolio.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace slp {
@@ -62,50 +65,150 @@ inline bool parseBackendOpt(const char *Tool, const std::string &Value,
 
 /// Prints the per-backend win/loss/time breakdown to stderr — one
 /// line per backend, one implementation for every tool's --stats.
-/// For single-backend runs the single line degenerates to
+/// Backends are discovered from the snapshot's `backend.<name>.races`
+/// counters, which engine::publishBackendTallies registers in member
+/// order. For single-backend runs the single line degenerates to
 /// races == definitive verdicts == wins.
-inline void printBackendStats(const std::vector<engine::BackendTally> &Ts) {
-  for (const engine::BackendTally &T : Ts)
-    std::fprintf(stderr,
-                 "backend %-9s %llu wins / %llu races "
-                 "(%llu definitive, %llu cancelled, %.3f worker-s, "
-                 "%llu fuel)\n",
-                 T.Name.c_str(), static_cast<unsigned long long>(T.Wins),
-                 static_cast<unsigned long long>(T.Races),
-                 static_cast<unsigned long long>(T.Definitive),
-                 static_cast<unsigned long long>(T.Cancelled), T.Seconds,
-                 static_cast<unsigned long long>(T.FuelUsed));
+inline void printBackendStats(const obs::MetricsSnapshot &S) {
+  constexpr std::string_view Prefix = "backend.";
+  constexpr std::string_view Suffix = ".races";
+  for (const auto &KV : S.Counters) {
+    const std::string &Key = KV.first;
+    if (Key.size() <= Prefix.size() + Suffix.size() ||
+        Key.compare(0, Prefix.size(), Prefix) != 0 ||
+        Key.compare(Key.size() - Suffix.size(), Suffix.size(), Suffix) != 0)
+      continue;
+    std::string Name =
+        Key.substr(Prefix.size(), Key.size() - Prefix.size() - Suffix.size());
+    std::string P = std::string(Prefix) + Name + ".";
+    std::fprintf(
+        stderr,
+        "backend %-9s %llu wins / %llu races "
+        "(%llu definitive, %llu cancelled, %.3f worker-s, "
+        "%llu fuel)\n",
+        Name.c_str(),
+        static_cast<unsigned long long>(S.counterOr0(P + "wins")),
+        static_cast<unsigned long long>(KV.second),
+        static_cast<unsigned long long>(S.counterOr0(P + "definitive")),
+        static_cast<unsigned long long>(S.counterOr0(P + "cancelled")),
+        static_cast<double>(S.counterOr0(P + "time_ns")) * 1e-9,
+        static_cast<unsigned long long>(S.counterOr0(P + "fuel")));
+  }
 }
 
-/// Prints the model-guided saturation counters to stderr — one
-/// implementation so every tool's --stats reports them identically.
-inline void printModelGuidedStats(const engine::BatchStats &S,
+/// Prints the model-guided saturation counters (the `sat.*` metrics)
+/// to stderr — one implementation so every tool's --stats reports
+/// them identically.
+inline void printModelGuidedStats(const obs::MetricsSnapshot &S,
                                   bool Incremental) {
-  std::fprintf(stderr,
-               "model-guided (%s): %llu attempts, %llu gen positions "
-               "replay-skipped, %llu cert checks skipped, %llu nf-cache "
-               "reuses\n",
-               Incremental ? "incremental" : "from-scratch",
-               static_cast<unsigned long long>(S.ModelAttempts),
-               static_cast<unsigned long long>(S.GenReplayedFrom),
-               static_cast<unsigned long long>(S.CertSkipped),
-               static_cast<unsigned long long>(S.NfCacheReuse));
+  std::fprintf(
+      stderr,
+      "model-guided (%s): %llu attempts, %llu gen positions "
+      "replay-skipped, %llu cert checks skipped, %llu nf-cache "
+      "reuses\n",
+      Incremental ? "incremental" : "from-scratch",
+      static_cast<unsigned long long>(S.counterOr0("sat.model_attempts")),
+      static_cast<unsigned long long>(S.counterOr0("sat.gen_replayed_from")),
+      static_cast<unsigned long long>(S.counterOr0("sat.cert_skipped")),
+      static_cast<unsigned long long>(S.counterOr0("sat.nf_cache_reuse")));
 }
 
-/// Prints the engine's phase and session-reuse counters to stderr —
-/// one implementation so every tool's --stats reports the same subset
-/// of BatchStats.
-inline void printEngineReuseStats(const engine::BatchStats &S) {
+/// Prints the engine's phase latencies and session-reuse counters to
+/// stderr from a registry snapshot: per-phase totals are the
+/// `engine.phase.*_ns` histogram sums (the same clock reads that feed
+/// BatchStats' phase seconds), with p50/p99 of the per-query prove
+/// latency alongside.
+inline void printEngineReuseStats(const obs::MetricsSnapshot &S) {
+  auto PhaseSeconds = [&S](std::string_view Name) {
+    const obs::HistogramSnapshot *H = S.histogram(Name);
+    return H ? static_cast<double>(H->Sum) * 1e-9 : 0.0;
+  };
   std::fprintf(stderr,
                "phases (worker-seconds): parse %.3f, prove %.3f, "
-               "cache %.3f\n"
-               "sessions: %zu workers, %llu resets, %llu terms / "
-               "%llu arena bytes reclaimed, %llu slabs reused\n",
-               S.ParseSeconds, S.ProveSeconds, S.CacheSeconds, S.Sessions,
-               static_cast<unsigned long long>(S.SessionResets),
-               static_cast<unsigned long long>(S.TermsReclaimed),
-               static_cast<unsigned long long>(S.ArenaBytesReclaimed),
-               static_cast<unsigned long long>(S.ArenaSlabsReused));
+               "cache %.3f\n",
+               PhaseSeconds("engine.phase.parse_ns"),
+               PhaseSeconds("engine.phase.prove_ns"),
+               PhaseSeconds("engine.phase.cache_ns"));
+  if (const obs::HistogramSnapshot *H = S.histogram("engine.phase.prove_ns"))
+    if (H->Count)
+      std::fprintf(stderr,
+                   "prove latency: p50 %.0fus, p90 %.0fus, p99 %.0fus, "
+                   "max %.0fus over %llu proofs\n",
+                   H->quantile(0.5) * 1e-3, H->quantile(0.9) * 1e-3,
+                   H->quantile(0.99) * 1e-3,
+                   static_cast<double>(H->Max) * 1e-3,
+                   static_cast<unsigned long long>(H->Count));
+  const int64_t *Sessions = S.gauge("engine.sessions");
+  std::fprintf(
+      stderr,
+      "sessions: %lld workers, %llu resets, %llu terms / "
+      "%llu arena bytes reclaimed, %llu slabs reused\n",
+      static_cast<long long>(Sessions ? *Sessions : 0),
+      static_cast<unsigned long long>(S.counterOr0("session.resets")),
+      static_cast<unsigned long long>(S.counterOr0("session.terms_reclaimed")),
+      static_cast<unsigned long long>(
+          S.counterOr0("session.arena_bytes_reclaimed")),
+      static_cast<unsigned long long>(
+          S.counterOr0("session.arena_slabs_reused")));
+}
+
+/// The shared `--trace=` / `--metrics-json=` options: every tool that
+/// runs the prover accepts both, so the whole stack is traceable with
+/// the same two flags.
+struct TelemetryOptions {
+  std::string TracePath;       ///< Chrome trace-event JSON output.
+  std::string MetricsJsonPath; ///< MetricsSnapshot::json() output.
+  bool Ok = true;              ///< False after a bad (empty) value.
+};
+
+/// Matches \p Arg against the shared telemetry options for the tool
+/// named \p Tool. Returns true when the option was one of them (check
+/// \p Out.Ok afterwards — an empty path is diagnosed here).
+inline bool parseTelemetryOpt(const char *Tool, const std::string &Arg,
+                              TelemetryOptions &Out) {
+  std::string *Dst = nullptr;
+  size_t Skip = 0;
+  if (Arg.rfind("--trace=", 0) == 0) {
+    Dst = &Out.TracePath;
+    Skip = 8;
+  } else if (Arg.rfind("--metrics-json=", 0) == 0) {
+    Dst = &Out.MetricsJsonPath;
+    Skip = 15;
+  } else {
+    return false;
+  }
+  *Dst = Arg.substr(Skip);
+  if (Dst->empty()) {
+    std::fprintf(stderr, "%s: empty path in '%s'\n", Tool, Arg.c_str());
+    Out.Ok = false;
+  }
+  return true;
+}
+
+/// Enables the trace recorder when --trace= was given. Call after
+/// argument parsing, before the engine runs.
+inline void startTelemetry(const TelemetryOptions &O) {
+  if (!O.TracePath.empty())
+    obs::TraceRecorder::global().start(O.TracePath);
+}
+
+/// Writes the trace and metrics files requested on the command line.
+/// Call once on every exit path after the engine ran. Returns false
+/// (with a diagnostic) when a file could not be written.
+inline bool finishTelemetry(const char *Tool, const TelemetryOptions &O) {
+  bool Ok = true;
+  if (!O.TracePath.empty() && !obs::TraceRecorder::global().finish()) {
+    std::fprintf(stderr, "%s: cannot write trace file '%s'\n", Tool,
+                 O.TracePath.c_str());
+    Ok = false;
+  }
+  if (!O.MetricsJsonPath.empty() &&
+      !obs::writeMetricsJson(O.MetricsJsonPath)) {
+    std::fprintf(stderr, "%s: cannot write metrics file '%s'\n", Tool,
+                 O.MetricsJsonPath.c_str());
+    Ok = false;
+  }
+  return Ok;
 }
 
 } // namespace cli

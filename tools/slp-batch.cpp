@@ -34,10 +34,20 @@
 ///                     rebuild every candidate model from scratch
 ///                     instead of replaying from the last change
 ///                     (verdicts are identical; for measurement)
+///     --trace=FILE    record per-query phase spans (parse,
+///                     canonicalize, cache-lookup, prove, model
+///                     attempts, portfolio races) as Chrome
+///                     trace-event JSON — load in Perfetto or
+///                     chrome://tracing
+///     --metrics-json=FILE
+///                     dump the metrics-registry snapshot (counters,
+///                     gauges, latency histograms with p50/p90/p99)
+///                     as JSON on exit
 ///
 /// Verdicts go to stdout in input order, one `[i] query / verdict`
-/// block per query — byte-identical for any --jobs value. Statistics
-/// go to stderr so stdout stays comparable across runs.
+/// block per query — byte-identical for any --jobs value and
+/// unchanged by --trace/--metrics-json. Statistics go to stderr so
+/// stdout stays comparable across runs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,7 +72,7 @@ int usage() {
                "[--backend=slp|berdine|unfolding|portfolio] "
                "[--cache=on|off] [--fuel=N] [--stats] "
                "[--no-indexed-subsumption] [--no-incremental-model] "
-               "[file]\n";
+               "[--trace=FILE] [--metrics-json=FILE] [file]\n";
   return 2;
 }
 
@@ -74,6 +84,7 @@ using cli::parseUnsigned;
 int main(int argc, char **argv) {
   engine::BatchOptions Opts;
   bool Stats = false;
+  cli::TelemetryOptions Telemetry;
   std::string File;
   bool HaveFile = false;
 
@@ -104,6 +115,9 @@ int main(int argc, char **argv) {
       Opts.Prover.Sat.IndexedSubsumption = false;
     } else if (Arg == "--no-incremental-model") {
       Opts.Prover.Sat.IncrementalModel = false;
+    } else if (cli::parseTelemetryOpt("slp-batch", Arg, Telemetry)) {
+      if (!Telemetry.Ok)
+        return usage();
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "slp-batch: unknown option '" << Arg << "'\n";
       return usage();
@@ -135,6 +149,7 @@ int main(int argc, char **argv) {
   std::vector<unsigned> LineNos;
   std::vector<std::string> Queries =
       engine::BatchProver::splitCorpus(Input, &LineNos);
+  cli::startTelemetry(Telemetry);
   engine::BatchProver Engine(Opts);
   std::vector<engine::QueryResult> Results = Engine.run(Queries);
 
@@ -186,9 +201,12 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(S.SubsumedBwd),
                  static_cast<unsigned long long>(S.SubChecks),
                  static_cast<unsigned long long>(S.SubScanBaseline), Prune);
-    cli::printModelGuidedStats(S, Opts.Prover.Sat.IncrementalModel);
-    cli::printEngineReuseStats(S);
-    cli::printBackendStats(S.Backends);
+    obs::MetricsSnapshot Snap = obs::metrics().snapshot();
+    cli::printModelGuidedStats(Snap, Opts.Prover.Sat.IncrementalModel);
+    cli::printEngineReuseStats(Snap);
+    cli::printBackendStats(Snap);
   }
+  if (!cli::finishTelemetry("slp-batch", Telemetry))
+    return Exit ? Exit : 1;
   return Exit;
 }

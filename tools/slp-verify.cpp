@@ -29,6 +29,10 @@
 ///                     rebuild candidate models from scratch per
 ///                     attempt instead of replaying from the last
 ///                     change
+///     --trace=FILE    record per-VC phase spans as Chrome
+///                     trace-event JSON (Perfetto / chrome://tracing)
+///     --metrics-json=FILE
+///                     dump the metrics-registry snapshot as JSON
 ///
 /// Per-program summaries go to stdout (`name: K VCs, K valid`); the
 /// exit status is 0 iff every VC was proved valid.
@@ -55,7 +59,8 @@ int usage() {
                "[--backend=slp|berdine|unfolding|portfolio] "
                "[--cache=on|off] [--fuel=N] [--program=NAME] [--list] "
                "[--vcs] [--stats] [--no-indexed-subsumption] "
-               "[--no-incremental-model]\n";
+               "[--no-incremental-model] [--trace=FILE] "
+               "[--metrics-json=FILE]\n";
   return 2;
 }
 
@@ -69,6 +74,7 @@ int main(int argc, char **argv) {
   bool Stats = false;
   bool List = false;
   bool PerVc = false;
+  cli::TelemetryOptions Telemetry;
   std::string Program;
 
   for (int I = 1; I != argc; ++I) {
@@ -104,6 +110,9 @@ int main(int argc, char **argv) {
       Opts.Prover.Sat.IndexedSubsumption = false;
     } else if (Arg == "--no-incremental-model") {
       Opts.Prover.Sat.IncrementalModel = false;
+    } else if (cli::parseTelemetryOpt("slp-verify", Arg, Telemetry)) {
+      if (!Telemetry.Ok)
+        return usage();
     } else {
       std::cerr << "slp-verify: unknown option '" << Arg << "'\n";
       return usage();
@@ -142,6 +151,7 @@ int main(int argc, char **argv) {
         Tasks.push_back(std::move(T));
   }
 
+  cli::startTelemetry(Telemetry);
   engine::BatchProver Engine(Opts);
   std::vector<engine::QueryResult> Results = Engine.run(Tasks);
 
@@ -179,9 +189,12 @@ int main(int argc, char **argv) {
                  engine::ThreadPool::resolveJobs(Opts.Jobs),
                  Opts.CacheEnabled ? "on" : "off",
                  static_cast<unsigned long long>(S.CacheHits));
-    cli::printModelGuidedStats(S, Opts.Prover.Sat.IncrementalModel);
-    cli::printEngineReuseStats(S);
-    cli::printBackendStats(S.Backends);
+    obs::MetricsSnapshot Snap = obs::metrics().snapshot();
+    cli::printModelGuidedStats(Snap, Opts.Prover.Sat.IncrementalModel);
+    cli::printEngineReuseStats(Snap);
+    cli::printBackendStats(Snap);
   }
+  if (!cli::finishTelemetry("slp-verify", Telemetry))
+    return 1;
   return Discharged == TotalVCs ? 0 : 1;
 }

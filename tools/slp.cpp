@@ -32,6 +32,12 @@
 ///                   rebuild every candidate model from scratch
 ///                   instead of replaying from the last change
 ///                   (verdicts are identical; for measurement)
+///     --trace=FILE  record phase spans (parse, prove, model
+///                   attempts, portfolio races) as Chrome trace-event
+///                   JSON — load in Perfetto or chrome://tracing
+///     --metrics-json=FILE
+///                   dump the metrics-registry snapshot as JSON on
+///                   exit
 ///
 //===----------------------------------------------------------------------===//
 
@@ -72,6 +78,7 @@ struct CliOptions {
   bool JobsGiven = false;
   bool IndexedSubsumption = true;
   bool IncrementalModel = true;
+  cli::TelemetryOptions Telemetry;
   std::string File; // Empty = stdin.
 };
 
@@ -80,7 +87,8 @@ int usage() {
                "[--dot-proof] [--dot-model] [--stats] "
                "[--backend=slp|berdine|unfolding|portfolio] [--fuel=N] "
                "[--jobs=N] [--no-indexed-subsumption] "
-               "[--no-incremental-model] [file]\n";
+               "[--no-incremental-model] [--trace=FILE] "
+               "[--metrics-json=FILE] [file]\n";
   return 2;
 }
 
@@ -132,6 +140,9 @@ int main(int argc, char **argv) {
       }
       Opts.Jobs = static_cast<unsigned>(N);
       Opts.JobsGiven = true;
+    } else if (cli::parseTelemetryOpt("slp", Arg, Opts.Telemetry)) {
+      if (!Opts.Telemetry.Ok)
+        return usage();
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "slp: unknown option '" << Arg << "'\n";
       return usage();
@@ -177,6 +188,8 @@ int main(int argc, char **argv) {
     Input = SS.str();
   }
 
+  cli::startTelemetry(Opts.Telemetry);
+
   SymbolTable Symbols;
   TermTable Terms(Symbols);
 
@@ -217,10 +230,15 @@ int main(int argc, char **argv) {
       }
       std::cout << "\n";
     }
+    if (!cli::finishTelemetry("slp", Opts.Telemetry))
+      return Exit ? Exit : 1;
     return Exit;
   }
 
-  sl::FileParseResult Parsed = sl::parseEntailmentFile(Terms, Input);
+  sl::FileParseResult Parsed = [&] {
+    obs::TraceSpan Span("parse");
+    return sl::parseEntailmentFile(Terms, Input);
+  }();
   if (!Parsed.ok()) {
     std::cerr << (Opts.File.empty() ? "<stdin>" : Opts.File) << ":"
               << Parsed.Error->render() << "\n";
@@ -246,6 +264,10 @@ int main(int argc, char **argv) {
     Fuel F = Opts.FuelSteps ? Fuel(Opts.FuelSteps) : Fuel();
     Timer T;
     std::string VerdictText;
+    // Span the per-query work, closed before the query is echoed so
+    // stdout flushing does not inflate the prove phase.
+    obs::TraceRecorder &Recorder = obs::TraceRecorder::global();
+    uint64_t SpanStart = Recorder.enabled() ? Recorder.nowNs() : 0;
     if (Opts.Backend == engine::BackendKind::Berdine) {
       VerdictText = baselineVerdictName(Berdine.prove(E, F));
     } else if (Opts.Backend == engine::BackendKind::Unfolding) {
@@ -306,13 +328,19 @@ int main(int argc, char **argv) {
                        " nf-cache-reuse=" +
                        std::to_string(R.Stats.NfCacheReuse);
     }
+    if (Recorder.enabled())
+      Recorder.complete("prove", SpanStart, Recorder.nowNs() - SpanStart);
     std::cout << "[" << Index << "] " << sl::str(Terms, E) << "\n    "
               << VerdictText;
     if (Opts.Stats)
       std::cout << "\n    time: " << T.seconds() << "s";
     std::cout << "\n";
   }
-  if (IsPortfolio && Opts.Stats)
-    cli::printBackendStats(Portfolio->tallies());
+  if (IsPortfolio && Opts.Stats) {
+    engine::publishBackendTallies(Portfolio->tallies());
+    cli::printBackendStats(obs::metrics().snapshot());
+  }
+  if (!cli::finishTelemetry("slp", Opts.Telemetry))
+    return 1;
   return 0;
 }

@@ -10,12 +10,20 @@
 ///
 ///   slpgen --dist=1|2 [--vars=N] [--count=K] [--seed=S]
 ///          [--plseg=P] [--pne=P] [--pnext=P]
+///          [--stats] [--metrics-json=FILE]
+///
+/// --stats prints the generation counters (instances, per-instance
+/// latency p50/p99) to stderr; --metrics-json dumps the full registry
+/// snapshot, like the prover tools.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "gen/RandomEntailments.h"
+#include "obs/Metrics.h"
 #include "sl/Formula.h"
+#include "support/Timer.h"
 
+#include <cstdio>
 #include <iostream>
 #include <string>
 
@@ -25,6 +33,8 @@ int main(int argc, char **argv) {
   unsigned Dist = 1, Vars = 10, Count = 10;
   uint64_t Seed = 1;
   double PLseg = 0.10, PNe = 0.20, PNext = 0.70;
+  bool Stats = false;
+  std::string MetricsJsonPath;
 
   for (int I = 1; I != argc; ++I) {
     std::string Arg = argv[I];
@@ -43,21 +53,48 @@ int main(int argc, char **argv) {
       PNe = std::stod(Value(6));
     else if (Arg.rfind("--pnext=", 0) == 0)
       PNext = std::stod(Value(8));
+    else if (Arg == "--stats")
+      Stats = true;
+    else if (Arg.rfind("--metrics-json=", 0) == 0 && Arg.size() > 15)
+      MetricsJsonPath = Value(15);
     else {
       std::cerr << "usage: slpgen --dist=1|2 [--vars=N] [--count=K] "
-                   "[--seed=S] [--plseg=P] [--pne=P] [--pnext=P]\n";
+                   "[--seed=S] [--plseg=P] [--pne=P] [--pnext=P] "
+                   "[--stats] [--metrics-json=FILE]\n";
       return 2;
     }
   }
+
+  obs::Counter &Instances = obs::metrics().counter("gen.instances");
+  obs::Histogram &GenNs = obs::metrics().histogram("gen.entailment_ns");
 
   SymbolTable Symbols;
   TermTable Terms(Symbols);
   SplitMix64 Rng(Seed);
   for (unsigned I = 0; I != Count; ++I) {
-    sl::Entailment E = Dist == 1
-                           ? gen::distribution1(Terms, Rng, Vars, PLseg, PNe)
-                           : gen::distribution2(Terms, Rng, Vars, PNext);
+    // Time the generation only, not the stdout rendering.
+    sl::Entailment E = [&] {
+      ScopedTimer ST(GenNs);
+      return Dist == 1 ? gen::distribution1(Terms, Rng, Vars, PLseg, PNe)
+                       : gen::distribution2(Terms, Rng, Vars, PNext);
+    }();
     std::cout << sl::str(Terms, E) << "\n";
+    Instances.inc();
+  }
+
+  if (Stats) {
+    obs::HistogramSnapshot H = GenNs.snapshot();
+    std::fprintf(stderr,
+                 "gen: %llu instances (dist %u, %u vars); per-instance "
+                 "p50 %.0fns, p99 %.0fns, max %.0fns\n",
+                 static_cast<unsigned long long>(Instances.value()), Dist,
+                 Vars, H.quantile(0.5), H.quantile(0.99),
+                 static_cast<double>(H.Max));
+  }
+  if (!MetricsJsonPath.empty() && !obs::writeMetricsJson(MetricsJsonPath)) {
+    std::fprintf(stderr, "slpgen: cannot write metrics file '%s'\n",
+                 MetricsJsonPath.c_str());
+    return 1;
   }
   return 0;
 }
