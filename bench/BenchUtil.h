@@ -57,6 +57,8 @@ struct BatchResult {
   uint64_t CertSkipped = 0, NfCacheReuse = 0;
   /// Memoizing-cache hits over the run (0 unless SLP_BENCH_CACHE=1).
   uint64_t CacheHits = 0;
+  /// Queries the static pre-solver decided without running the prover.
+  uint64_t Presolved = 0;
   /// Per-query prove-latency percentiles over this run, from the
   /// delta of the registry's `engine.phase.prove_ns` histogram
   /// between the run's start and end (cache hits and parse errors
@@ -96,12 +98,14 @@ inline std::string cell(const BatchResult &R) {
 /// paper's jStar accounting.
 inline BatchResult runBackend(engine::BackendKind Backend, TermTable &Terms,
                               const std::vector<sl::Entailment> &Batch,
-                              uint64_t FuelPerInstance) {
+                              uint64_t FuelPerInstance,
+                              bool Presolve = true) {
   engine::BatchOptions Opts;
   Opts.Jobs = static_cast<unsigned>(envOr("SLP_BENCH_JOBS", 1));
   Opts.CacheEnabled = envOr("SLP_BENCH_CACHE", 0) != 0;
   Opts.FuelPerQuery = FuelPerInstance;
   Opts.Backend = Backend;
+  Opts.Presolve = Presolve;
 
   std::vector<std::string> Queries;
   Queries.reserve(Batch.size());
@@ -134,6 +138,8 @@ inline BatchResult runBackend(engine::BackendKind Backend, TermTable &Terms,
   R.CertSkipped = Engine.stats().CertSkipped;
   R.NfCacheReuse = Engine.stats().NfCacheReuse;
   R.CacheHits = Engine.stats().CacheHits;
+  R.Presolved =
+      Engine.stats().PresolvedValid + Engine.stats().PresolvedInvalid;
   R.Backends = Engine.stats().Backends;
   obs::HistogramSnapshot Prove =
       obs::metrics().histogram("engine.phase.prove_ns").snapshot().minus(
@@ -154,6 +160,15 @@ inline BatchResult runSlp(TermTable &Terms,
                           uint64_t FuelPerInstance) {
   return runBackend(engine::BackendKind::Slp, Terms, Batch,
                     FuelPerInstance);
+}
+
+/// The SLP column with the static pre-solver disabled, for measuring
+/// the presolve wall-clock delta in the trajectory artifacts.
+inline BatchResult runSlpNoPresolve(TermTable &Terms,
+                                    const std::vector<sl::Entailment> &Batch,
+                                    uint64_t FuelPerInstance) {
+  return runBackend(engine::BackendKind::Slp, Terms, Batch,
+                    FuelPerInstance, /*Presolve=*/false);
 }
 
 /// Races slp | berdine | unfolding per instance; BatchResult::Backends

@@ -111,6 +111,11 @@ int main(int argc, char **argv) {
     BatchResult Slp = runSlp(Terms, Batch, FuelBudget);
     BatchResult Berdine = runBerdine(Terms, Batch, FuelBudget);
     BatchResult Greedy = runGreedy(Terms, Batch, FuelBudget);
+    // The presolve wall-clock delta only goes into the trajectory
+    // artifact, so skip the extra pass on plain-text runs.
+    BatchResult SlpNoPre;
+    if (Json)
+      SlpNoPre = runSlpNoPresolve(Terms, Batch, FuelBudget);
     BatchResult Portfolio;
     if (WithPortfolio) {
       Portfolio = runPortfolio(Terms, Batch, FuelBudget);
@@ -143,6 +148,8 @@ int main(int argc, char **argv) {
       Json->field("slp_seconds", Slp.Seconds);
       Json->field("slp_solved", static_cast<uint64_t>(Slp.Solved));
       Json->field("slp_valid", static_cast<uint64_t>(Slp.Valid));
+      Json->field("slp_presolved", Slp.Presolved);
+      Json->field("slp_nopresolve_seconds", SlpNoPre.Seconds);
       Json->field("berdine_seconds", Berdine.Seconds);
       Json->field("berdine_solved", static_cast<uint64_t>(Berdine.Solved));
       Json->field("berdine_valid", static_cast<uint64_t>(Berdine.Valid));

@@ -78,6 +78,11 @@ int main(int argc, char **argv) {
     BatchResult Slp = runSlp(Terms, Batch, FuelBudget);
     BatchResult Berdine = runBerdine(Terms, Batch, FuelBudget);
     BatchResult Greedy = runGreedy(Terms, Batch, FuelBudget);
+    // The presolve wall-clock delta only goes into the trajectory
+    // artifact, so skip the extra pass on plain-text runs.
+    BatchResult SlpNoPre;
+    if (Json)
+      SlpNoPre = runSlpNoPresolve(Terms, Batch, FuelBudget);
 
     std::printf("%5u %6.2f %6u%% | %14s %14s %14s\n", Vars, PNext,
                 100 * Slp.Valid / std::max(1u, Slp.Total),
@@ -92,6 +97,8 @@ int main(int argc, char **argv) {
       Json->field("slp_seconds", Slp.Seconds);
       Json->field("slp_solved", static_cast<uint64_t>(Slp.Solved));
       Json->field("slp_valid", static_cast<uint64_t>(Slp.Valid));
+      Json->field("slp_presolved", Slp.Presolved);
+      Json->field("slp_nopresolve_seconds", SlpNoPre.Seconds);
       Json->field("slp_prove_p50_ns", Slp.ProveP50Ns);
       Json->field("slp_prove_p99_ns", Slp.ProveP99Ns);
       Json->field("slp_cache_hits", Slp.CacheHits);

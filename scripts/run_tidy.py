@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project sources using the repo .clang-tidy.
+
+Usage: run_tidy.py [--build-dir BUILD] [--jobs N] [paths...]
+
+Expects a build directory configured with CMAKE_EXPORT_COMPILE_COMMANDS=ON
+(compile_commands.json). Lints every first-party translation unit found
+there (src/, tools/, bench/, examples/, tests/) or just the given paths.
+Warnings are errors per the .clang-tidy WarningsAsErrors setting, so any
+finding fails the run.
+
+Exit status: 0 clean, 1 findings, 2 environment problems. A missing
+clang-tidy binary is reported as a skip (exit 0) so local builds without
+the tool stay green; CI installs it explicitly.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+FIRST_PARTY = ("src/", "tools/", "bench/", "examples/", "tests/")
+
+
+def find_clang_tidy():
+    candidates = [os.environ.get("CLANG_TIDY", "")]
+    candidates += ["clang-tidy"]
+    candidates += [f"clang-tidy-{v}" for v in range(20, 12, -1)]
+    for name in candidates:
+        if name and shutil.which(name):
+            return name
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--jobs", type=int, default=multiprocessing.cpu_count())
+    ap.add_argument("paths", nargs="*",
+                    help="restrict to sources whose path contains any of these")
+    args = ap.parse_args()
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    db_path = os.path.join(root, args.build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"run_tidy: no {db_path}; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 2
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("run_tidy: clang-tidy not found; skipping", file=sys.stderr)
+        return 0
+
+    with open(db_path) as f:
+        db = json.load(f)
+    sources = []
+    for entry in db:
+        rel = os.path.relpath(entry["file"], root)
+        if not rel.startswith(FIRST_PARTY):
+            continue
+        if args.paths and not any(p in rel for p in args.paths):
+            continue
+        sources.append(rel)
+    sources = sorted(set(sources))
+    if not sources:
+        print("run_tidy: no matching sources", file=sys.stderr)
+        return 2
+
+    print(f"run_tidy: {tidy}, {len(sources)} files, "
+          f"{args.jobs} jobs", file=sys.stderr)
+    failed = []
+    # Simple bounded fan-out; clang-tidy is single-threaded per TU.
+    procs = {}
+
+    def reap(block):
+        for src, proc in list(procs.items()):
+            if not block and proc.poll() is None:
+                continue
+            out, _ = proc.communicate()
+            if proc.returncode != 0:
+                failed.append(src)
+                sys.stderr.write(out)
+            elif out.strip():
+                sys.stderr.write(out)
+            del procs[src]
+            if block:
+                return
+
+    for src in sources:
+        while len(procs) >= args.jobs:
+            reap(block=True)
+        procs[src] = subprocess.Popen(
+            [tidy, "-p", os.path.join(root, args.build_dir), "--quiet", src],
+            cwd=root, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+    while procs:
+        reap(block=True)
+
+    if failed:
+        print(f"run_tidy: findings in {len(failed)} of {len(sources)} files",
+              file=sys.stderr)
+        return 1
+    print(f"run_tidy: clean ({len(sources)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+//===- analysis/Closure.cpp - Pure-part congruence closure --------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Closure.h"
+
+using namespace slp;
+using namespace slp::analysis;
+
+bool PureClosure::unite(const Term *A, const Term *B) {
+  uint32_t RA = UF.find(A->id()), RB = UF.find(B->id());
+  if (RA == RB)
+    return false;
+  UF.unite(RA, RB);
+  // A merge can close a disequality's endpoints into one class; the
+  // scan is linear in the store, which is linear in |Π| plus the
+  // derived facts — polynomial overall.
+  for (const auto &[X, Y] : Diseqs)
+    if (UF.find(X->id()) == UF.find(Y->id())) {
+      Contradiction = true;
+      break;
+    }
+  return true;
+}
+
+bool PureClosure::addDisequality(const Term *A, const Term *B) {
+  if (same(A, B)) {
+    Contradiction = true;
+    Diseqs.push_back({A, B});
+    return true;
+  }
+  if (distinct(A, B))
+    return false;
+  Diseqs.push_back({A, B});
+  return true;
+}
+
+bool PureClosure::distinct(const Term *A, const Term *B) {
+  uint32_t RA = find(A), RB = find(B);
+  if (RA == RB)
+    return false; // Equal classes are never distinct (that would be a
+                  // contradiction, reported separately).
+  for (const auto &[X, Y] : Diseqs) {
+    uint32_t RX = UF.find(X->id()), RY = UF.find(Y->id());
+    if ((RX == RA && RY == RB) || (RX == RB && RY == RA))
+      return true;
+  }
+  return false;
+}

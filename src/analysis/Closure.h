@@ -1,0 +1,88 @@
+//===- analysis/Closure.h - Pure-part congruence closure --------*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A union-find congruence closure over the pure part Π of an
+/// assertion, with disequality tracking. The fragment's program
+/// expressions are interned constants, so congruence degenerates to
+/// equivalence closure over term ids; disequalities are kept as a pair
+/// list and consulted through the closure, so `x != y` together with
+/// `y = z` answers distinct(x, z). A contradiction (some recorded
+/// disequality whose endpoints share a class) is detected eagerly and
+/// latches: once contradictory, always contradictory.
+///
+/// This is the substrate of the static pre-solver (analysis::analyze):
+/// everything here is polynomial — unite is near-O(1) amortized,
+/// distinct() and contradiction detection scan the disequality list of
+/// one class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_ANALYSIS_CLOSURE_H
+#define SLP_ANALYSIS_CLOSURE_H
+
+#include "sl/Formula.h"
+#include "support/UnionFind.h"
+
+#include <utility>
+#include <vector>
+
+namespace slp {
+namespace analysis {
+
+/// Equivalence closure of a set of ground equalities plus a
+/// disequality store, queried through the closure.
+class PureClosure {
+public:
+  /// Merges the classes of \p A and \p B. Returns true iff the
+  /// closure changed (the two were in different classes).
+  bool unite(const Term *A, const Term *B);
+
+  /// Records A != B. Returns true iff the fact is new, i.e. was not
+  /// already derivable from the store under the current closure.
+  bool addDisequality(const Term *A, const Term *B);
+
+  /// Adds one pure atom (equality or disequality).
+  void add(const sl::PureAtom &A) {
+    if (A.Negated)
+      addDisequality(A.Lhs, A.Rhs);
+    else
+      unite(A.Lhs, A.Rhs);
+  }
+
+  /// True iff the closure forces A = B.
+  bool same(const Term *A, const Term *B) {
+    return find(A) == find(B);
+  }
+
+  /// True iff some recorded disequality separates the classes of
+  /// \p A and \p B.
+  bool distinct(const Term *A, const Term *B);
+
+  /// True iff some recorded disequality has both endpoints in one
+  /// class (i.e. the asserted pure facts are unsatisfiable).
+  bool contradictory() const { return Contradiction; }
+
+  /// The recorded disequalities, as term pairs (original endpoints,
+  /// not representatives).
+  const std::vector<std::pair<const Term *, const Term *>> &
+  disequalities() const {
+    return Diseqs;
+  }
+
+  /// Class representative id for \p T (stable between unites).
+  uint32_t find(const Term *T) { return UF.find(T->id()); }
+
+private:
+  UnionFind UF;
+  std::vector<std::pair<const Term *, const Term *>> Diseqs;
+  bool Contradiction = false;
+};
+
+} // namespace analysis
+} // namespace slp
+
+#endif // SLP_ANALYSIS_CLOSURE_H

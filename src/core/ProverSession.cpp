@@ -6,6 +6,8 @@
 
 #include "core/ProverSession.h"
 
+#include "support/Invariants.h"
+
 #include <algorithm>
 
 using namespace slp;
@@ -32,6 +34,8 @@ void ProverSession::reset() {
   Stats.TermsReclaimed += Terms.size() - Baseline.NumTerms;
   Stats.BytesReclaimed += Terms.arenaBytes() - Baseline.Storage.Bytes;
   Terms.reset(Baseline);
+  SLP_INVARIANT(Terms.size() == Baseline.NumTerms,
+                "session rewind did not restore the term baseline");
   P.onTermTableReset();
 }
 

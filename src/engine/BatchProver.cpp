@@ -6,6 +6,7 @@
 
 #include "engine/BatchProver.h"
 
+#include "analysis/StaticAnalyzer.h"
 #include "engine/ThreadPool.h"
 #include "engine/WorkQueue.h"
 #include "obs/Metrics.h"
@@ -22,16 +23,19 @@ namespace {
 /// objects never move, so one lookup serves the process).
 struct PhaseHistograms {
   obs::Histogram &Parse;
+  obs::Histogram &Presolve;
   obs::Histogram &Canon;
   obs::Histogram &CacheNs;
   obs::Histogram &Prove;
 };
 
 PhaseHistograms &phaseHistograms() {
-  static PhaseHistograms H{obs::metrics().histogram("engine.phase.parse_ns"),
-                           obs::metrics().histogram("engine.phase.canon_ns"),
-                           obs::metrics().histogram("engine.phase.cache_ns"),
-                           obs::metrics().histogram("engine.phase.prove_ns")};
+  static PhaseHistograms H{
+      obs::metrics().histogram("engine.phase.parse_ns"),
+      obs::metrics().histogram("engine.phase.presolve_ns"),
+      obs::metrics().histogram("engine.phase.canon_ns"),
+      obs::metrics().histogram("engine.phase.cache_ns"),
+      obs::metrics().histogram("engine.phase.prove_ns")};
   return H;
 }
 
@@ -91,6 +95,25 @@ QueryResult BatchProver::proveOne(const ProofTask &Task, Worker &W) {
     Out.Status = QueryStatus::ParseError;
     Out.Error = P.Error->render();
     return Out;
+  }
+
+  // Static pre-solve: the polynomial analyzer runs on the parsed form,
+  // ahead of canonicalization and the cache. It is sound, so a
+  // definitive answer is the final verdict; Unknown falls through at
+  // the cost of one cheap closure pass.
+  if (Opts.Presolve) {
+    obs::TraceSpan Span("presolve");
+    ScopedTimer ST(PH.Presolve, &W.PresolveSeconds);
+    analysis::AnalysisResult A =
+        analysis::analyze(W.Session.terms(), *P.Value);
+    if (A.definitive()) {
+      Out.V = A.V;
+      Out.Presolved = true;
+      Out.Backend = "presolve";
+      Span.arg("verdict", std::string(core::verdictName(A.V)));
+      Span.arg("reason", std::string(analysis::reasonName(A.R)));
+      return Out;
+    }
   }
 
   CanonicalQuery Q = [&] {
@@ -212,11 +235,13 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
   unsigned Jobs = ThreadPool::resolveJobs(Opts.Jobs);
   std::vector<core::SessionStats> Sessions;
   std::vector<std::vector<BackendTally>> WorkerTallies;
-  double ParseSeconds = 0, ProveSeconds = 0, CacheSeconds = 0;
+  double ParseSeconds = 0, PresolveSeconds = 0, ProveSeconds = 0,
+         CacheSeconds = 0;
   auto Retire = [&](const Worker &W) {
     Sessions.push_back(W.Session.stats());
     WorkerTallies.push_back(W.tallies());
     ParseSeconds += W.ParseSeconds;
+    PresolveSeconds += W.PresolveSeconds;
     ProveSeconds += W.ProveSeconds;
     CacheSeconds += W.CacheSeconds;
   };
@@ -247,6 +272,7 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
   Stats.Seconds = T.seconds();
   Stats.Queries = Tasks.size();
   Stats.ParseSeconds = ParseSeconds;
+  Stats.PresolveSeconds = PresolveSeconds;
   Stats.ProveSeconds = ProveSeconds;
   Stats.CacheSeconds = CacheSeconds;
   Stats.Sessions = Sessions.size();
@@ -279,7 +305,10 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
       ++Stats.ParseErrors;
       continue;
     }
-    if (R.FromCache)
+    if (R.Presolved)
+      ++(R.V == core::Verdict::Valid ? Stats.PresolvedValid
+                                     : Stats.PresolvedInvalid);
+    else if (R.FromCache)
       ++Stats.CacheHits;
     else if (Opts.CacheEnabled)
       ++Stats.CacheMisses;
@@ -314,6 +343,13 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
   Reg.counter("engine.valid").inc(Stats.Valid);
   Reg.counter("engine.invalid").inc(Stats.Invalid);
   Reg.counter("engine.unknown").inc(Stats.Unknown);
+  if (Opts.Presolve) {
+    Reg.counter("analysis.presolved.valid").inc(Stats.PresolvedValid);
+    Reg.counter("analysis.presolved.invalid").inc(Stats.PresolvedInvalid);
+    Reg.counter("analysis.presolved.miss")
+        .inc(Stats.Queries - Stats.ParseErrors - Stats.PresolvedValid -
+             Stats.PresolvedInvalid);
+  }
   Reg.gauge("engine.sessions").set(static_cast<int64_t>(Stats.Sessions));
   Reg.counter("session.resets").inc(Stats.SessionResets);
   Reg.counter("session.terms_reclaimed").inc(Stats.TermsReclaimed);

@@ -54,6 +54,13 @@ namespace engine {
 struct BatchOptions {
   unsigned Jobs = 1;          ///< Worker threads; 0 = hardware concurrency.
   bool CacheEnabled = true;   ///< Consult/populate the ResultCache.
+  /// Run the polynomial static analyzer (analysis::analyze) on each
+  /// parsed query ahead of the cache lookup; a definitive analyzer
+  /// verdict skips canonicalization, cache, and prover entirely. The
+  /// analyzer is sound, so verdicts are identical either way
+  /// (`--no-presolve` on the tools exists for measurement and
+  /// differential testing, not correctness).
+  bool Presolve = true;
   uint64_t FuelPerQuery = 0;  ///< Inference budget per query; 0 = unlimited.
                               ///< For the portfolio backend this is the
                               ///< per-member budget of each race.
@@ -80,6 +87,9 @@ struct QueryResult {
   QueryStatus Status = QueryStatus::Ok;
   core::Verdict V = core::Verdict::Unknown;
   bool FromCache = false;
+  /// Decided by the static pre-solver; the saturation prover (and the
+  /// cache) never saw this query.
+  bool Presolved = false;
   uint64_t FuelUsed = 0; ///< 0 for cache hits and parse errors.
   /// Saturation subsumption counters (0 for cache hits/parse errors).
   uint64_t SubsumedFwd = 0, SubsumedBwd = 0;
@@ -108,6 +118,11 @@ struct BatchStats {
   size_t Queries = 0;
   size_t Valid = 0, Invalid = 0, Unknown = 0, ParseErrors = 0;
   uint64_t CacheHits = 0, CacheMisses = 0;
+  /// Queries the static pre-solver decided (mirrored to the
+  /// analysis.presolved.* counters; PresolveSeconds includes the
+  /// misses that fell through to the prover).
+  size_t PresolvedValid = 0, PresolvedInvalid = 0;
+  double PresolveSeconds = 0;
   /// Aggregated saturation subsumption counters over all proved
   /// (non-cached) queries: clauses deleted forward/backward, pair
   /// tests performed, and the tests a full clause-database scan would
@@ -190,7 +205,8 @@ private:
     /// Single-backend tally, synthesized by proveOne; unused when
     /// Portfolio is set.
     BackendTally Tally;
-    double ParseSeconds = 0, ProveSeconds = 0, CacheSeconds = 0;
+    double ParseSeconds = 0, PresolveSeconds = 0, ProveSeconds = 0,
+           CacheSeconds = 0;
 
     /// The tallies to merge into BatchStats at end of batch.
     std::vector<BackendTally> tallies() const;

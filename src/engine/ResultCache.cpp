@@ -6,6 +6,8 @@
 
 #include "engine/ResultCache.h"
 
+#include "support/Invariants.h"
+
 #include <algorithm>
 
 using namespace slp;
@@ -61,6 +63,10 @@ void ResultCache::insert(const CanonicalQuery &Q, core::Verdict V) {
   }
   S.Lru.emplace_front(Q.key(), V);
   S.Map.emplace(S.Lru.front().first, S.Lru.begin());
+  SLP_INVARIANT(S.Lru.size() <= S.Cap,
+                "cache shard grew past its capacity");
+  SLP_INVARIANT(S.Map.size() == S.Lru.size(),
+                "cache shard map and LRU list disagree");
   ++S.Insertions;
   InsertionsMetric.inc();
   EntriesMetric.add(1);

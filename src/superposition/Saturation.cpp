@@ -7,6 +7,7 @@
 #include "superposition/Saturation.h"
 
 #include "obs/Trace.h"
+#include "support/Invariants.h"
 
 #include <algorithm>
 
@@ -481,9 +482,14 @@ void Saturation::orderedLiveInsert(uint32_t Id) {
   auto It = std::lower_bound(
       OrderedLive.begin(), OrderedLive.end(), Id,
       [this](uint32_t A, uint32_t B) { return clauseOrderLess(A, B); });
-  LiveWatermark = std::min(
-      LiveWatermark, static_cast<size_t>(It - OrderedLive.begin()));
+  size_t Idx = static_cast<size_t>(It - OrderedLive.begin());
+  LiveWatermark = std::min(LiveWatermark, Idx);
   OrderedLive.insert(It, Id);
+  SLP_INVARIANT(Idx == 0 || clauseOrderLess(OrderedLive[Idx - 1], Id),
+                "clause DB ordering broken left of insertion point");
+  SLP_INVARIANT(Idx + 1 == OrderedLive.size() ||
+                    clauseOrderLess(Id, OrderedLive[Idx + 1]),
+                "clause DB ordering broken right of insertion point");
 }
 
 void Saturation::orderedLiveErase(uint32_t Id) {
@@ -499,6 +505,12 @@ void Saturation::orderedLiveErase(uint32_t Id) {
 
 bool Saturation::attemptModelIncremental(
     std::optional<GroundRewriteSystem> &Model) {
+  SLP_INVARIANT(
+      std::is_sorted(OrderedLive.begin(), OrderedLive.end(),
+                     [this](uint32_t A, uint32_t B) {
+                       return clauseOrderLess(A, B);
+                     }),
+      "ordered live set out of order at model generation");
   // The prefix of the ordered live sequence below the watermark is
   // unchanged since the last snapshot, so Gen — whose state after i
   // clauses is a function of exactly those clauses — replays

@@ -1,0 +1,47 @@
+//===- support/Invariants.h - Opt-in internal invariant checks --*- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SLP_INVARIANT(cond, msg): an internal-consistency check that is
+/// compiled in only when the build defines SLP_CHECK_INVARIANTS
+/// (CMake option of the same name, on in the sanitizer CI jobs). On
+/// failure it prints the location and message to stderr and aborts —
+/// unlike assert() it does not depend on NDEBUG, so it works in any
+/// build type, and unlike exceptions it fires even mid-destructor.
+///
+/// Use it for data-structure invariants that are too expensive or too
+/// deep in hot paths for release builds but cheap enough for CI:
+/// clause-DB ordering in saturation, cache-shard capacity bounds,
+/// session-rewind baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_SUPPORT_INVARIANTS_H
+#define SLP_SUPPORT_INVARIANTS_H
+
+#ifdef SLP_CHECK_INVARIANTS
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SLP_INVARIANT(cond, msg)                                             \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "%s:%d: invariant violated: %s (%s)\n", __FILE__, \
+                   __LINE__, msg, #cond);                                    \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#else
+
+#define SLP_INVARIANT(cond, msg)                                             \
+  do {                                                                       \
+  } while (false)
+
+#endif // SLP_CHECK_INVARIANTS
+
+#endif // SLP_SUPPORT_INVARIANTS_H

@@ -1,0 +1,100 @@
+//===- tests/analysis/ClosureTest.cpp -------------------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit tests for the pure-part congruence closure with disequality
+/// tracking (analysis::PureClosure).
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Closure.h"
+
+#include <gtest/gtest.h>
+
+using namespace slp;
+using namespace slp::analysis;
+
+namespace {
+
+class ClosureTest : public ::testing::Test {
+protected:
+  SymbolTable Syms;
+  TermTable Terms{Syms};
+  const Term *X = Terms.constant("x");
+  const Term *Y = Terms.constant("y");
+  const Term *Z = Terms.constant("z");
+  const Term *W = Terms.constant("w");
+};
+
+} // namespace
+
+TEST_F(ClosureTest, UniteMergesTransitively) {
+  PureClosure C;
+  EXPECT_FALSE(C.same(X, Z));
+  EXPECT_TRUE(C.unite(X, Y));
+  EXPECT_TRUE(C.unite(Y, Z));
+  EXPECT_TRUE(C.same(X, Z));
+  EXPECT_FALSE(C.same(X, W));
+  // Re-uniting an existing class reports no change.
+  EXPECT_FALSE(C.unite(Z, X));
+  EXPECT_FALSE(C.contradictory());
+}
+
+TEST_F(ClosureTest, DistinctLooksThroughTheClosure) {
+  PureClosure C;
+  EXPECT_TRUE(C.addDisequality(X, Y));
+  C.unite(Y, Z);
+  // x != y and y = z force x != z.
+  EXPECT_TRUE(C.distinct(X, Z));
+  EXPECT_FALSE(C.distinct(X, W));
+  // Same class is never "distinct" (that is a contradiction instead).
+  EXPECT_FALSE(C.distinct(Y, Z));
+  EXPECT_FALSE(C.contradictory());
+}
+
+TEST_F(ClosureTest, RedundantDisequalityIsNotNew) {
+  PureClosure C;
+  EXPECT_TRUE(C.addDisequality(X, Y));
+  C.unite(Y, Z);
+  // x != z already follows; the store should reject it as known.
+  EXPECT_FALSE(C.addDisequality(X, Z));
+  EXPECT_FALSE(C.addDisequality(Z, X));
+}
+
+TEST_F(ClosureTest, DisequalityIntoOneClassContradicts) {
+  PureClosure C;
+  C.unite(X, Y);
+  C.addDisequality(X, Y);
+  EXPECT_TRUE(C.contradictory());
+}
+
+TEST_F(ClosureTest, UniteAcrossDisequalityContradicts) {
+  PureClosure C;
+  C.addDisequality(X, Y);
+  C.unite(Y, Z);
+  EXPECT_FALSE(C.contradictory());
+  C.unite(X, Z); // Closes x and y into one class.
+  EXPECT_TRUE(C.contradictory());
+}
+
+TEST_F(ClosureTest, ContradictionLatches) {
+  PureClosure C;
+  C.unite(X, Y);
+  C.addDisequality(X, Y);
+  ASSERT_TRUE(C.contradictory());
+  C.unite(Z, W);
+  C.addDisequality(Z, X);
+  EXPECT_TRUE(C.contradictory());
+}
+
+TEST_F(ClosureTest, AddDispatchesOnAtomPolarity) {
+  PureClosure C;
+  C.add(sl::PureAtom::eq(X, Y));
+  C.add(sl::PureAtom::ne(Y, Z));
+  EXPECT_TRUE(C.same(X, Y));
+  EXPECT_TRUE(C.distinct(X, Z));
+  C.add(sl::PureAtom::eq(X, Z));
+  EXPECT_TRUE(C.contradictory());
+}

@@ -99,8 +99,10 @@ TEST(BatchProver, DuplicatedCorpusHitsCache) {
 
   // One job: with racing workers two first-occurrences of one key can
   // legitimately both miss, so exact hit accounting needs sequential.
+  // Presolve off: statically decided queries never reach the cache.
   BatchOptions Opts;
   Opts.Jobs = 1;
+  Opts.Presolve = false;
   BatchProver Engine(Opts);
   std::vector<QueryResult> Results = Engine.run(Corpus);
 

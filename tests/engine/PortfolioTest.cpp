@@ -282,13 +282,17 @@ TEST(EngineBackendTest, BatchProverRoutesEveryBackend) {
       NeedsSplit,                          // valid, needs splitting
   };
 
+  // Presolve off throughout: this test is about backend routing, and
+  // the pre-solver would answer these queries before any backend runs.
   BatchOptions Slp;
+  Slp.Presolve = false;
   std::vector<QueryResult> Want = BatchProver(Slp).run(Queries);
   ASSERT_EQ(Want.size(), Queries.size());
 
   for (BackendKind K : {BackendKind::Berdine, BackendKind::Portfolio}) {
     BatchOptions O;
     O.Backend = K;
+    O.Presolve = false;
     std::vector<QueryResult> Got = BatchProver(O).run(Queries);
     ASSERT_EQ(Got.size(), Want.size());
     for (size_t I = 0; I != Got.size(); ++I) {
@@ -302,6 +306,7 @@ TEST(EngineBackendTest, BatchProverRoutesEveryBackend) {
   // degrades to Unknown.
   BatchOptions O;
   O.Backend = BackendKind::Unfolding;
+  O.Presolve = false;
   std::vector<QueryResult> Got = BatchProver(O).run(Queries);
   for (size_t I = 0; I != Got.size(); ++I) {
     if (Got[I].V == core::Verdict::Valid) {
@@ -318,9 +323,12 @@ TEST(EngineBackendTest, BatchStatsCarryBackendTallies) {
       "next(x, y) |- next(x, y)",
       "lseg(x, y) |- next(x, y)",
   };
+  // Presolve off: the tally accounting below assumes every query
+  // races the portfolio members.
   BatchOptions O;
   O.Backend = BackendKind::Portfolio;
   O.Jobs = 2;
+  O.Presolve = false;
   BatchProver Engine(O);
   std::vector<QueryResult> Results = Engine.run(Queries);
 
@@ -342,6 +350,7 @@ TEST(EngineBackendTest, BatchStatsCarryBackendTallies) {
 
   // Single-backend runs synthesize a one-entry tally.
   BatchOptions Single;
+  Single.Presolve = false;
   BatchProver SingleEngine(Single);
   SingleEngine.run(Queries);
   ASSERT_EQ(SingleEngine.stats().Backends.size(), 1u);

@@ -16,6 +16,9 @@
 ///     --cache=on|off  memoizing entailment cache (default on)
 ///     --fuel=N        inference step budget per query (default
 ///                     unlimited; for portfolio, per racing backend)
+///     --no-presolve   disable the polynomial static pre-solver that
+///                     runs ahead of the cache lookup (verdicts are
+///                     identical; for measurement)
 ///     --stats         print batch statistics to stderr, including the
 ///                     saturation subsumption counters (clauses deleted
 ///                     forward/backward, candidate checks vs. the
@@ -70,7 +73,7 @@ namespace {
 int usage() {
   std::cerr << "usage: slp-batch [--jobs=N] "
                "[--backend=slp|berdine|unfolding|portfolio] "
-               "[--cache=on|off] [--fuel=N] [--stats] "
+               "[--cache=on|off] [--fuel=N] [--stats] [--no-presolve] "
                "[--no-indexed-subsumption] [--no-incremental-model] "
                "[--trace=FILE] [--metrics-json=FILE] [file]\n";
   return 2;
@@ -111,6 +114,8 @@ int main(int argc, char **argv) {
       Opts.FuelPerQuery = N;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--no-presolve") {
+      Opts.Presolve = false;
     } else if (Arg == "--no-indexed-subsumption") {
       Opts.Prover.Sat.IndexedSubsumption = false;
     } else if (Arg == "--no-incremental-model") {
@@ -190,6 +195,17 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(S.CacheHits),
                  static_cast<unsigned long long>(S.CacheMisses), C.Entries,
                  static_cast<unsigned long long>(C.Evictions));
+    if (Opts.Presolve) {
+      size_t Decided = S.PresolvedValid + S.PresolvedInvalid;
+      size_t Parsed = S.Queries - S.ParseErrors;
+      std::fprintf(stderr,
+                   "presolve: %zu of %zu decided statically (%.1f%%: "
+                   "%zu valid, %zu invalid) in %.3fs\n",
+                   Decided, Parsed,
+                   Parsed ? 100.0 * Decided / Parsed : 0.0,
+                   S.PresolvedValid, S.PresolvedInvalid,
+                   S.PresolveSeconds);
+    }
     double Prune = S.SubChecks
                        ? static_cast<double>(S.SubScanBaseline) / S.SubChecks
                        : 0.0;

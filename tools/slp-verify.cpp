@@ -23,6 +23,9 @@
 ///     --list          list corpus programs and exit
 ///     --vcs           also print one line per VC with its verdict
 ///     --stats         print engine statistics to stderr
+///     --no-presolve   disable the polynomial static pre-solver that
+///                     runs ahead of the cache lookup (verdicts are
+///                     identical; for measurement)
 ///     --no-indexed-subsumption
 ///                     disable the feature-vector subsumption index
 ///     --no-incremental-model
@@ -58,7 +61,8 @@ int usage() {
   std::cerr << "usage: slp-verify [--jobs=N] "
                "[--backend=slp|berdine|unfolding|portfolio] "
                "[--cache=on|off] [--fuel=N] [--program=NAME] [--list] "
-               "[--vcs] [--stats] [--no-indexed-subsumption] "
+               "[--vcs] [--stats] [--no-presolve] "
+               "[--no-indexed-subsumption] "
                "[--no-incremental-model] [--trace=FILE] "
                "[--metrics-json=FILE]\n";
   return 2;
@@ -106,6 +110,8 @@ int main(int argc, char **argv) {
       PerVc = true;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--no-presolve") {
+      Opts.Presolve = false;
     } else if (Arg == "--no-indexed-subsumption") {
       Opts.Prover.Sat.IndexedSubsumption = false;
     } else if (Arg == "--no-incremental-model") {
@@ -189,6 +195,11 @@ int main(int argc, char **argv) {
                  engine::ThreadPool::resolveJobs(Opts.Jobs),
                  Opts.CacheEnabled ? "on" : "off",
                  static_cast<unsigned long long>(S.CacheHits));
+    if (Opts.Presolve)
+      std::fprintf(stderr, "presolve: %zu VCs decided statically "
+                           "(%zu valid, %zu invalid) in %.3fs\n",
+                   S.PresolvedValid + S.PresolvedInvalid, S.PresolvedValid,
+                   S.PresolvedInvalid, S.PresolveSeconds);
     obs::MetricsSnapshot Snap = obs::metrics().snapshot();
     cli::printModelGuidedStats(Snap, Opts.Prover.Sat.IncrementalModel);
     cli::printEngineReuseStats(Snap);

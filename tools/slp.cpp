@@ -24,6 +24,11 @@
 ///                   sequential path, which stops at the first bad
 ///                   line, this path reports parse errors per query on
 ///                   stdout, like slp-batch
+///     --no-presolve disable the polynomial static pre-solver
+///                   (verdicts are identical; for measurement). The
+///                   sequential path also skips it automatically when
+///                   --proof/--check-proof/--dot-proof need the real
+///                   saturation objects
 ///     --no-indexed-subsumption
 ///                   answer subsumption queries by scanning the clause
 ///                   database instead of the feature-vector index
@@ -43,6 +48,7 @@
 
 #include "CliUtil.h"
 
+#include "analysis/StaticAnalyzer.h"
 #include "baselines/BerdineProver.h"
 #include "baselines/UnfoldingProver.h"
 #include "core/Backend.h"
@@ -76,6 +82,7 @@ struct CliOptions {
   uint64_t FuelSteps = 0;  // 0 = unlimited.
   unsigned Jobs = 1;       // > 1 or 0 routes through the batch engine.
   bool JobsGiven = false;
+  bool Presolve = true;
   bool IndexedSubsumption = true;
   bool IncrementalModel = true;
   cli::TelemetryOptions Telemetry;
@@ -86,7 +93,7 @@ int usage() {
   std::cerr << "usage: slp [--proof] [--model] [--check-proof] "
                "[--dot-proof] [--dot-model] [--stats] "
                "[--backend=slp|berdine|unfolding|portfolio] [--fuel=N] "
-               "[--jobs=N] [--no-indexed-subsumption] "
+               "[--jobs=N] [--no-presolve] [--no-indexed-subsumption] "
                "[--no-incremental-model] [--trace=FILE] "
                "[--metrics-json=FILE] [file]\n";
   return 2;
@@ -115,6 +122,8 @@ int main(int argc, char **argv) {
       Opts.DotModel = true;
     else if (Arg == "--stats")
       Opts.Stats = true;
+    else if (Arg == "--no-presolve")
+      Opts.Presolve = false;
     else if (Arg == "--no-indexed-subsumption")
       Opts.IndexedSubsumption = false;
     else if (Arg == "--no-incremental-model")
@@ -202,6 +211,7 @@ int main(int argc, char **argv) {
     EngineOpts.Jobs = Opts.Jobs;
     EngineOpts.FuelPerQuery = Opts.FuelSteps;
     EngineOpts.Backend = Opts.Backend;
+    EngineOpts.Presolve = Opts.Presolve;
     EngineOpts.Prover.Sat.IndexedSubsumption = Opts.IndexedSubsumption;
     EngineOpts.Prover.Sat.IncrementalModel = Opts.IncrementalModel;
     engine::BatchProver Engine(EngineOpts);
@@ -284,6 +294,31 @@ int main(int argc, char **argv) {
         VerdictText += " [" + R.Backend + "]";
       if (Opts.Model && !R.CexText.empty())
         VerdictText += "\n  countermodel: " + R.CexText;
+    } else if (std::optional<analysis::AnalysisResult> Pre =
+                   [&]() -> std::optional<analysis::AnalysisResult> {
+                 // The proof renderers need the real saturation
+                 // objects, so any of them disables the pre-solver.
+                 if (!Opts.Presolve || Opts.Proof || Opts.CheckProof ||
+                     Opts.DotProof)
+                   return std::nullopt;
+                 analysis::AnalysisResult A = analysis::analyze(Terms, E);
+                 if (!A.definitive())
+                   return std::nullopt;
+                 return A;
+               }()) {
+      // Statically decided: identical verdict text to the prover path
+      // (the analyzer is sound), so --no-presolve output is
+      // byte-identical modulo --stats timings.
+      VerdictText = core::verdictName(Pre->V);
+      if (Opts.Model && Pre->Cex)
+        VerdictText += "\n  countermodel: " +
+                       sl::str(Terms, Pre->Cex->S, Pre->Cex->H);
+      if (Opts.DotModel && Pre->Cex)
+        VerdictText += "\n" + core::counterModelToDot(Terms, Pre->Cex->S,
+                                                      Pre->Cex->H);
+      if (Opts.Stats)
+        VerdictText += std::string("\n  stats: presolved (") +
+                       analysis::reasonName(Pre->R) + ")";
     } else {
       core::ProveResult R = Slp.prove(E, F);
       VerdictText = core::verdictName(R.V);
