@@ -1,0 +1,225 @@
+//===- bench/bench_scaling.cpp - Engine thread-scaling curve ------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Threads-vs-throughput curve for the batch engine's work-stealing
+/// scheduler: the same distribution-1 corpus proved at 1/2/4/…/HW
+/// worker threads (cache off, so every query is proved), reporting
+/// wall clock, queries/second, per-query prove-latency p50/p99, and
+/// the steal-pool counters per point. Verdicts are checked identical
+/// across all points — scaling must not buy a single changed answer.
+///
+/// Defaults are sized for a quick run; set SLP_BENCH_INSTANCES /
+/// SLP_BENCH_VARS / SLP_BENCH_FUEL to scale up, and `--threads=1,2,4`
+/// to pin the measured thread counts (CI uses `--threads=1,2` as a
+/// smoke on 2-core runners). With `--json[=path]` the curve lands in
+/// BENCH_scaling.json, uploaded by CI with the other trajectories.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "gen/RandomEntailments.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace slp;
+using namespace slp::bench;
+
+namespace {
+
+/// One measured point of the curve.
+struct Point {
+  unsigned Threads = 0;
+  double Seconds = 0;
+  double Qps = 0;
+  double P50Ns = 0, P99Ns = 0;
+  uint64_t Steals = 0, StealAttempts = 0;
+  unsigned Solved = 0;
+};
+
+/// Default ladder: 1, 2, 4, ... up to (and including) hardware
+/// concurrency.
+std::vector<unsigned> defaultThreadCounts() {
+  unsigned HW = std::thread::hardware_concurrency();
+  if (HW == 0)
+    HW = 1;
+  std::vector<unsigned> Counts;
+  for (unsigned T = 1; T < HW; T *= 2)
+    Counts.push_back(T);
+  Counts.push_back(HW);
+  return Counts;
+}
+
+bool parseThreadList(const char *Text, std::vector<unsigned> &Out) {
+  Out.clear();
+  unsigned Cur = 0;
+  bool Any = false;
+  for (const char *P = Text;; ++P) {
+    if (*P >= '0' && *P <= '9') {
+      Cur = Cur * 10 + static_cast<unsigned>(*P - '0');
+      Any = true;
+    } else if (*P == ',' || *P == '\0') {
+      if (!Any || Cur == 0)
+        return false;
+      Out.push_back(Cur);
+      Cur = 0;
+      Any = false;
+      if (*P == '\0')
+        return true;
+    } else {
+      return false;
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const unsigned Instances =
+      static_cast<unsigned>(envOr("SLP_BENCH_INSTANCES", 400));
+  const unsigned Vars = static_cast<unsigned>(envOr("SLP_BENCH_VARS", 14));
+  const uint64_t FuelBudget = envOr("SLP_BENCH_FUEL", 12000);
+  const uint64_t Seed = envOr("SLP_BENCH_SEED", 1);
+
+  std::string JsonPath;
+  std::vector<unsigned> Threads = defaultThreadCounts();
+  for (int I = 1; I != argc; ++I) {
+    if (std::strcmp(argv[I], "--json") == 0) {
+      JsonPath = "BENCH_scaling.json";
+    } else if (std::strncmp(argv[I], "--json=", 7) == 0) {
+      JsonPath = argv[I] + 7;
+    } else if (std::strncmp(argv[I], "--threads=", 10) == 0) {
+      if (!parseThreadList(argv[I] + 10, Threads)) {
+        std::fprintf(stderr, "error: bad --threads list '%s'\n",
+                     argv[I] + 10);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_scaling [--json[=path]] "
+                   "[--threads=1,2,4,...]\n");
+      return 2;
+    }
+  }
+
+  std::unique_ptr<TrajectoryJson> Json;
+  if (!JsonPath.empty()) {
+    Json = std::make_unique<TrajectoryJson>(JsonPath, "scaling");
+    if (!Json->ok()) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    Json->config("instances", Instances);
+    Json->config("vars", Vars);
+    Json->config("fuel", FuelBudget);
+    Json->config("seed", Seed);
+    Json->config("hardware_threads", std::thread::hardware_concurrency());
+  }
+
+  // One corpus for every point, rendered once; the paper's Table 1
+  // mid-weight row parameters keep instances non-trivial without
+  // letting single outliers dominate a short run.
+  SymbolTable Symbols;
+  TermTable Terms(Symbols);
+  SplitMix64 Rng(Seed);
+  std::vector<std::string> Queries;
+  Queries.reserve(Instances);
+  for (unsigned I = 0; I != Instances; ++I)
+    Queries.push_back(sl::str(
+        Terms, gen::distribution1(Terms, Rng, Vars, /*PLseg=*/0.5,
+                                  /*PNe=*/0.5)));
+
+  std::printf("engine scaling: %u instances, %u vars, fuel %llu\n",
+              Instances, Vars,
+              static_cast<unsigned long long>(FuelBudget));
+  std::printf("%8s %10s %10s %12s %12s %8s %9s\n", "threads", "seconds",
+              "q/s", "p50(ms)", "p99(ms)", "steals", "attempts");
+
+  std::vector<core::Verdict> Reference;
+  std::vector<Point> Curve;
+  for (unsigned T : Threads) {
+    engine::BatchOptions Opts;
+    Opts.Jobs = T;
+    // Cache and pre-solver off: both answer queries without running
+    // the saturation prover, and the curve is about proving
+    // throughput (they also leave the prove-latency histogram empty
+    // for the queries they skim).
+    Opts.CacheEnabled = false;
+    Opts.Presolve = false;
+    Opts.FuelPerQuery = FuelBudget;
+
+    const obs::HistogramSnapshot Before =
+        obs::metrics().histogram("engine.phase.prove_ns").snapshot();
+    Timer Wall;
+    engine::BatchProver Engine(Opts);
+    std::vector<engine::QueryResult> Results = Engine.run(Queries);
+    Point P;
+    P.Threads = T;
+    P.Seconds = Wall.seconds();
+
+    std::vector<core::Verdict> Verdicts;
+    Verdicts.reserve(Results.size());
+    for (const engine::QueryResult &R : Results) {
+      Verdicts.push_back(R.V);
+      P.Solved += R.Status == engine::QueryStatus::Ok &&
+                  R.V != core::Verdict::Unknown;
+    }
+    if (Reference.empty()) {
+      Reference = Verdicts;
+    } else if (Verdicts != Reference) {
+      std::fprintf(stderr,
+                   "error: verdicts at %u threads differ from the "
+                   "1-thread reference\n",
+                   T);
+      return 1;
+    }
+
+    P.Qps = P.Seconds > 0 ? Queries.size() / P.Seconds : 0;
+    P.Steals = Engine.stats().Steals;
+    P.StealAttempts = Engine.stats().StealAttempts;
+    obs::HistogramSnapshot Prove =
+        obs::metrics().histogram("engine.phase.prove_ns").snapshot().minus(
+            Before);
+    P.P50Ns = Prove.quantile(0.5);
+    P.P99Ns = Prove.quantile(0.99);
+    Curve.push_back(P);
+
+    std::printf("%8u %10.3f %10.1f %12.3f %12.3f %8llu %9llu\n", P.Threads,
+                P.Seconds, P.Qps, P.P50Ns / 1e6, P.P99Ns / 1e6,
+                static_cast<unsigned long long>(P.Steals),
+                static_cast<unsigned long long>(P.StealAttempts));
+
+    if (Json) {
+      Json->beginRow();
+      Json->field("threads", static_cast<uint64_t>(P.Threads));
+      Json->field("seconds", P.Seconds);
+      Json->field("qps", P.Qps);
+      Json->field("prove_p50_ns", P.P50Ns);
+      Json->field("prove_p99_ns", P.P99Ns);
+      Json->field("steals", P.Steals);
+      Json->field("steal_attempts", P.StealAttempts);
+      Json->field("solved", static_cast<uint64_t>(P.Solved));
+      Json->endRow();
+    }
+  }
+
+  if (Curve.size() > 1 && Curve.front().Seconds > 0) {
+    const Point &First = Curve.front();
+    const Point &Best = *std::min_element(
+        Curve.begin(), Curve.end(),
+        [](const Point &A, const Point &B) { return A.Seconds < B.Seconds; });
+    std::printf("speedup: %.2fx at %u threads over %u thread%s\n",
+                First.Seconds / Best.Seconds, Best.Threads, First.Threads,
+                First.Threads == 1 ? "" : "s");
+  }
+  return 0;
+}

@@ -42,20 +42,20 @@ std::string core::proofToDot(const sup::Saturation &Sat,
     Stack.pop_back();
     if (!Seen.insert(Id).second)
       continue;
-    const sup::ClauseEntry &E = Sat.entry(Id);
-    std::string Text = E.C.str(Sat.terms());
-    if (E.J.Kind == sup::RuleKind::Input) {
+    const sup::Justification &J = Sat.justification(Id);
+    std::string Text = Sat.clause(Id).str(Sat.terms());
+    if (J.Kind == sup::RuleKind::Input) {
       std::string Provenance;
-      if (E.J.ExternalTag != ~0u && E.J.ExternalTag < Labels.size())
-        Provenance = "\\n" + escape(Labels[E.J.ExternalTag]);
+      if (J.ExternalTag != ~0u && J.ExternalTag < Labels.size())
+        Provenance = "\\n" + escape(Labels[J.ExternalTag]);
       OS << "  c" << Id << " [shape=box, label=\"[" << Id << "] "
          << escape(Text) << Provenance << "\"];\n";
     } else {
       OS << "  c" << Id << " [shape=ellipse, label=\"[" << Id << "] "
-         << escape(Text) << "\\n" << sup::ruleKindName(E.J.Kind)
+         << escape(Text) << "\\n" << sup::ruleKindName(J.Kind)
          << "\"];\n";
     }
-    for (uint32_t Parent : E.J.Parents) {
+    for (uint32_t Parent : J.Parents) {
       OS << "  c" << Parent << " -> c" << Id << ";\n";
       Stack.push_back(Parent);
     }

@@ -34,7 +34,7 @@ void normalizeParts(const sup::Saturation &Sat, const GroundRewriteSystem &R,
   for (const RewriteRule *Rule : Used) {
     assert(Rule->GeneratingClause != ~0u &&
            "model edges must carry generating clauses");
-    const sup::Clause &Gen = Sat.entry(Rule->GeneratingClause).C;
+    sup::ClauseView Gen = Sat.clause(Rule->GeneratingClause);
     sup::Equation EdgeEq(Rule->Lhs, Rule->Rhs);
     for (const sup::Equation &E : Gen.neg())
       Neg.push_back(E);

@@ -21,22 +21,22 @@ void visit(const sup::Saturation &Sat, const std::vector<std::string> &Labels,
     return;
   Seen.insert(Id);
 
-  const sup::ClauseEntry &E = Sat.entry(Id);
-  for (uint32_t Parent : E.J.Parents)
+  const sup::Justification &J = Sat.justification(Id);
+  for (uint32_t Parent : J.Parents)
     visit(Sat, Labels, Parent, Seen, Out);
 
   ProofStep Step;
   Step.ClauseId = Id;
-  Step.ClauseText = E.C.str(Sat.terms());
+  Step.ClauseText = Sat.clause(Id).str(Sat.terms());
   std::ostringstream OS;
-  if (E.J.Kind == sup::RuleKind::Input) {
+  if (J.Kind == sup::RuleKind::Input) {
     OS << "input";
-    if (E.J.ExternalTag != ~0u && E.J.ExternalTag < Labels.size())
-      OS << ": " << Labels[E.J.ExternalTag];
+    if (J.ExternalTag != ~0u && J.ExternalTag < Labels.size())
+      OS << ": " << Labels[J.ExternalTag];
   } else {
-    OS << ruleKindName(E.J.Kind) << '(';
-    for (size_t I = 0; I != E.J.Parents.size(); ++I)
-      OS << (I ? ", " : "") << E.J.Parents[I];
+    OS << ruleKindName(J.Kind) << '(';
+    for (size_t I = 0; I != J.Parents.size(); ++I)
+      OS << (I ? ", " : "") << J.Parents[I];
     OS << ')';
   }
   Step.RuleText = OS.str();

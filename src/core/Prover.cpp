@@ -93,6 +93,10 @@ ProveResult SlpProver::prove(const sl::Entailment &E, Fuel &F) {
     Result.Stats.GenReplayedFrom = SS.GenReplayedFrom;
     Result.Stats.CertSkipped = SS.CertSkipped;
     Result.Stats.NfCacheReuse = SS.NfCacheReuse;
+    Result.Stats.PoolEquations = SS.PoolEquations;
+    Result.Stats.PoolLiterals = SS.PoolLiterals;
+    Result.Stats.OrderCacheHits = SS.OrderCacheHits;
+    Result.Stats.OrderCacheMisses = SS.OrderCacheMisses;
     return Result;
   };
 

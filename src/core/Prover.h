@@ -65,6 +65,13 @@ struct ProveStats {
   uint64_t GenReplayedFrom = 0;
   uint64_t CertSkipped = 0;
   uint64_t NfCacheReuse = 0;
+  /// Data-layout counters (see SaturationStats): equations and
+  /// oriented literals in the flat pools at end of query, and
+  /// clause-order memo hits/misses.
+  uint64_t PoolEquations = 0;
+  uint64_t PoolLiterals = 0;
+  uint64_t OrderCacheHits = 0;
+  uint64_t OrderCacheMisses = 0;
 };
 
 /// Everything prove() reports.

@@ -7,8 +7,8 @@
 #include "engine/BatchProver.h"
 
 #include "analysis/StaticAnalyzer.h"
+#include "engine/StealPool.h"
 #include "engine/ThreadPool.h"
-#include "engine/WorkQueue.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "sl/Parser.h"
@@ -164,6 +164,10 @@ QueryResult BatchProver::proveOne(const ProofTask &Task, Worker &W) {
       Out.GenReplayedFrom = R.Stats.GenReplayedFrom;
       Out.CertSkipped = R.Stats.CertSkipped;
       Out.NfCacheReuse = R.Stats.NfCacheReuse;
+      Out.PoolEquations = R.Stats.PoolEquations;
+      Out.PoolLiterals = R.Stats.PoolLiterals;
+      Out.OrderCacheHits = R.Stats.OrderCacheHits;
+      Out.OrderCacheMisses = R.Stats.OrderCacheMisses;
       if (R.V != core::Verdict::Unknown)
         Out.Backend = W.Tally.Name;
     } else {
@@ -196,6 +200,10 @@ QueryResult BatchProver::proveOne(const ProofTask &Task, Worker &W) {
       Out.GenReplayedFrom = BR.Stats.GenReplayedFrom;
       Out.CertSkipped = BR.Stats.CertSkipped;
       Out.NfCacheReuse = BR.Stats.NfCacheReuse;
+      Out.PoolEquations = BR.Stats.PoolEquations;
+      Out.PoolLiterals = BR.Stats.PoolLiterals;
+      Out.OrderCacheHits = BR.Stats.OrderCacheHits;
+      Out.OrderCacheMisses = BR.Stats.OrderCacheMisses;
     }
     Span.arg("verdict", std::string(Out.verdictText()));
     if (!Out.Backend.empty())
@@ -246,13 +254,20 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
     CacheSeconds += W.CacheSeconds;
   };
 
+  StealStats Stealing;
+  unsigned WorkersUsed = 1;
   if (Jobs <= 1 || Tasks.size() <= 1) {
     Worker W(Opts);
-    for (size_t I = 0; I != Tasks.size(); ++I)
+    for (size_t I = 0; I != Tasks.size(); ++I) {
+      if (Opts.Cancel && Opts.Cancel->cancelled())
+        break; // Unclaimed tasks keep their default Unknown result.
       Results[I] = proveOne(Tasks[I], W);
+    }
     Retire(W);
   } else {
-    WorkQueue Queue(Tasks.size(), &obs::metrics().gauge("engine.queue.depth"));
+    WorkersUsed = Jobs;
+    StealPool Queue(Tasks.size(), Jobs,
+                    &obs::metrics().gauge("engine.queue.depth"), Opts.Cancel);
     ThreadPool Pool(Jobs);
     std::vector<std::unique_ptr<Worker>> Workers(Jobs);
     for (unsigned J = 0; J != Jobs; ++J)
@@ -260,12 +275,13 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
         // One long-lived worker context per job for the whole batch.
         Workers[J] = std::make_unique<Worker>(Opts);
         size_t I;
-        while (Queue.pop(I))
+        while (Queue.pop(J, I))
           Results[I] = proveOne(Tasks[I], *Workers[J]);
       });
     Pool.wait();
     for (const std::unique_ptr<Worker> &W : Workers)
       Retire(*W);
+    Stealing = Queue.totals();
   }
 
   Stats = BatchStats();
@@ -276,6 +292,9 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
   Stats.ProveSeconds = ProveSeconds;
   Stats.CacheSeconds = CacheSeconds;
   Stats.Sessions = Sessions.size();
+  Stats.WorkersUsed = WorkersUsed;
+  Stats.Steals = Stealing.Steals;
+  Stats.StealAttempts = Stealing.StealAttempts;
   for (const core::SessionStats &SS : Sessions) {
     Stats.SessionResets += SS.Resets;
     Stats.TermsReclaimed += SS.TermsReclaimed;
@@ -320,6 +339,10 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
     Stats.GenReplayedFrom += R.GenReplayedFrom;
     Stats.CertSkipped += R.CertSkipped;
     Stats.NfCacheReuse += R.NfCacheReuse;
+    Stats.PoolEquations += R.PoolEquations;
+    Stats.PoolLiterals += R.PoolLiterals;
+    Stats.OrderCacheHits += R.OrderCacheHits;
+    Stats.OrderCacheMisses += R.OrderCacheMisses;
     switch (R.V) {
     case core::Verdict::Valid:
       ++Stats.Valid;
@@ -363,6 +386,13 @@ BatchProver::run(const std::vector<ProofTask> &Tasks) {
   Reg.counter("sat.subsumed_bwd").inc(Stats.SubsumedBwd);
   Reg.counter("sat.sub_checks").inc(Stats.SubChecks);
   Reg.counter("sat.sub_scan_baseline").inc(Stats.SubScanBaseline);
+  Reg.counter("sat.pool.equations").inc(Stats.PoolEquations);
+  Reg.counter("sat.pool.literals").inc(Stats.PoolLiterals);
+  Reg.counter("sat.pool.order_memo_hits").inc(Stats.OrderCacheHits);
+  Reg.counter("sat.pool.order_memo_misses").inc(Stats.OrderCacheMisses);
+  Reg.gauge("engine.workers").set(static_cast<int64_t>(Stats.WorkersUsed));
+  Reg.counter("engine.steal.steals").inc(Stats.Steals);
+  Reg.counter("engine.steal.attempts").inc(Stats.StealAttempts);
   publishBackendTallies(Stats.Backends);
 
   return Results;

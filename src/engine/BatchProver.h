@@ -5,11 +5,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The batch proving engine: N pool workers drain a WorkQueue over a
-/// batch of ProofTasks (textual entailment obligations from a corpus
-/// file, the symbolic executor, or any other source), memoizing
-/// verdicts in a shared ResultCache keyed by the alpha-invariant
-/// CanonicalQuery.
+/// The batch proving engine: N pool workers drain a work-stealing
+/// StealPool over a batch of ProofTasks (textual entailment
+/// obligations from a corpus file, the symbolic executor, or any other
+/// source), memoizing verdicts in a shared ResultCache keyed by the
+/// alpha-invariant CanonicalQuery. Each worker owns a contiguous block
+/// of the batch and steals half of a straggler's remainder when it
+/// drains, so heavy-tailed query costs stop serializing the tail of
+/// the run.
 ///
 /// Each worker owns one core::ProverSession for the whole batch: the
 /// task is parsed once, straight into the session's term table on top
@@ -42,6 +45,7 @@
 #include "engine/Portfolio.h"
 #include "engine/ProofTask.h"
 #include "engine/ResultCache.h"
+#include "support/Fuel.h"
 
 #include <memory>
 #include <string>
@@ -74,6 +78,11 @@ struct BatchOptions {
   /// Portfolio members when Backend == BackendKind::Portfolio.
   std::vector<BackendKind> Portfolio = {
       BackendKind::Slp, BackendKind::Berdine, BackendKind::Unfolding};
+  /// Optional batch-level preemption: when the token fires, workers
+  /// stop claiming tasks at their next item boundary (the in-flight
+  /// query finishes; unclaimed tasks report Verdict::Unknown). The
+  /// token must outlive run().
+  const CancelToken *Cancel = nullptr;
 };
 
 /// What happened to one query of the batch.
@@ -99,6 +108,10 @@ struct QueryResult {
   /// certification checks skipped, normal-form memo reuses.
   uint64_t ModelAttempts = 0, GenReplayedFrom = 0;
   uint64_t CertSkipped = 0, NfCacheReuse = 0;
+  /// Saturation data-layout counters (0 for cache hits/parse errors):
+  /// flat-pool sizes at end of query and clause-order memo traffic.
+  uint64_t PoolEquations = 0, PoolLiterals = 0;
+  uint64_t OrderCacheHits = 0, OrderCacheMisses = 0;
   /// Backend that produced the verdict ("slp", "berdine", ...; for
   /// portfolio runs, the race winner). Empty for cache hits, parse
   /// errors, and undecided portfolio races.
@@ -135,6 +148,16 @@ struct BatchStats {
   /// by a previous attempt, and normal-form memo reuses.
   uint64_t ModelAttempts = 0, GenReplayedFrom = 0;
   uint64_t CertSkipped = 0, NfCacheReuse = 0;
+  /// Aggregated saturation data-layout counters: equations/literals in
+  /// the flat clause pools (summed end-of-query sizes) and the
+  /// clause-order memo's hit/miss traffic.
+  uint64_t PoolEquations = 0, PoolLiterals = 0;
+  uint64_t OrderCacheHits = 0, OrderCacheMisses = 0;
+  /// Work distribution over the run: worker threads actually used, and
+  /// the steal pool's counters (all zero when Jobs <= 1 — the
+  /// sequential path has nobody to steal from).
+  unsigned WorkersUsed = 0;
+  uint64_t Steals = 0, StealAttempts = 0;
   /// Per-phase wall clock, summed across workers (CPU-seconds; the
   /// sum can exceed Seconds when Jobs > 1): text parsing, proving
   /// (including the canonical rebuild), and cache lookups/inserts.

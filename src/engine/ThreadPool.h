@@ -7,7 +7,7 @@
 /// \file
 /// A fixed-size pool of worker threads draining a FIFO task queue.
 /// The batch engine submits one long-lived worker task per job slot
-/// (each of which drains a WorkQueue), but the pool is general: any
+/// (each of which drains a StealPool), but the pool is general: any
 /// number of tasks can be submitted and wait() blocks until the queue
 /// is empty and every running task has finished.
 ///

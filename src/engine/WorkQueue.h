@@ -9,6 +9,10 @@
 /// concurrent workers: each pop() hands out the next unclaimed index
 /// exactly once. A single atomic fetch-add, so there is no lock to
 /// contend on and the queue itself never becomes the bottleneck.
+/// The batch engine now distributes through the work-stealing
+/// StealPool (per-worker deques, no shared hot line); this queue
+/// remains the simple baseline for callers that want strict input
+/// order hand-off.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,13 +42,16 @@ public:
   WorkQueue(const WorkQueue &) = delete;
   WorkQueue &operator=(const WorkQueue &) = delete;
 
-  /// Claims the next index into \p Index; false once drained.
+  /// Claims the next index into \p Index; false once drained. Once the
+  /// queue is empty the failing pops return without touching the gauge
+  /// — workers spin on pop() while winding down, and a drained queue
+  /// should cost them no shared-cache-line stores.
   bool pop(size_t &Index) {
     size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-    if (Depth)
-      Depth->set(static_cast<int64_t>(I + 1 >= Size ? 0 : Size - I - 1));
     if (I >= Size)
       return false;
+    if (Depth)
+      Depth->set(static_cast<int64_t>(Size - I - 1));
     Index = I;
     return true;
   }

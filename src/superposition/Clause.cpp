@@ -47,14 +47,18 @@ Clause::Clause(std::vector<Equation> Neg, std::vector<Equation> Pos)
   Hash = H;
 }
 
-bool Clause::isTautology() const {
-  for (const Equation &E : PosEqs)
+// The set algorithms run on spans so the vector-backed Clause and the
+// pool-backed ClauseView share one implementation.
+
+static bool spanTautology(std::span<const Equation> Neg,
+                          std::span<const Equation> Pos) {
+  for (const Equation &E : Pos)
     if (E.trivial())
       return true;
   // Both sides are sorted; a linear sweep finds common equations.
-  auto NI = NegEqs.begin();
-  auto PI = PosEqs.begin();
-  while (NI != NegEqs.end() && PI != PosEqs.end()) {
+  auto NI = Neg.begin();
+  auto PI = Pos.begin();
+  while (NI != Neg.end() && PI != Pos.end()) {
     if (*NI == *PI)
       return true;
     if (*NI < *PI)
@@ -65,25 +69,28 @@ bool Clause::isTautology() const {
   return false;
 }
 
-static bool sortedIncludes(const std::vector<Equation> &Small,
-                           const std::vector<Equation> &Big) {
+static bool sortedIncludes(std::span<const Equation> Small,
+                           std::span<const Equation> Big) {
   return std::includes(Big.begin(), Big.end(), Small.begin(), Small.end());
 }
 
-bool Clause::subsumes(const Clause &Other) const {
-  if (NegEqs.size() > Other.NegEqs.size() ||
-      PosEqs.size() > Other.PosEqs.size())
+static bool spanSubsumes(std::span<const Equation> ANeg,
+                         std::span<const Equation> APos,
+                         std::span<const Equation> BNeg,
+                         std::span<const Equation> BPos) {
+  if (ANeg.size() > BNeg.size() || APos.size() > BPos.size())
     return false;
-  return sortedIncludes(NegEqs, Other.NegEqs) &&
-         sortedIncludes(PosEqs, Other.PosEqs);
+  return sortedIncludes(ANeg, BNeg) && sortedIncludes(APos, BPos);
 }
 
-std::string Clause::str(const TermTable &Terms) const {
-  if (empty())
+static std::string spanStr(const TermTable &Terms,
+                           std::span<const Equation> Neg,
+                           std::span<const Equation> Pos) {
+  if (Neg.empty() && Pos.empty())
     return "[]";
   std::ostringstream OS;
   bool First = true;
-  for (const Equation &E : NegEqs) {
+  for (const Equation &E : Neg) {
     if (!First)
       OS << ", ";
     First = false;
@@ -91,11 +98,31 @@ std::string Clause::str(const TermTable &Terms) const {
   }
   OS << " -> ";
   First = true;
-  for (const Equation &E : PosEqs) {
+  for (const Equation &E : Pos) {
     if (!First)
       OS << ", ";
     First = false;
     OS << Terms.str(E.lhs()) << " ' " << Terms.str(E.rhs());
   }
   return OS.str();
+}
+
+bool Clause::isTautology() const { return spanTautology(NegEqs, PosEqs); }
+
+bool Clause::subsumes(const Clause &Other) const {
+  return spanSubsumes(NegEqs, PosEqs, Other.NegEqs, Other.PosEqs);
+}
+
+std::string Clause::str(const TermTable &Terms) const {
+  return spanStr(Terms, NegEqs, PosEqs);
+}
+
+bool ClauseView::isTautology() const { return spanTautology(Neg, Pos); }
+
+bool ClauseView::subsumes(ClauseView Other) const {
+  return spanSubsumes(Neg, Pos, Other.Neg, Other.Pos);
+}
+
+std::string ClauseView::str(const TermTable &Terms) const {
+  return spanStr(Terms, Neg, Pos);
 }

@@ -17,7 +17,9 @@
 
 #include "superposition/Literal.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,7 +49,10 @@ struct Justification {
   uint32_t ExternalTag = ~0u;
 };
 
-/// An immutable pure clause in canonical form.
+/// An immutable pure clause in canonical form. Clauses are the
+/// *construction* vehicle: inference rules build them, canonicalize,
+/// and hand them to the ClauseDB, which stores the equations in one
+/// flat pool. Long-lived code reads clauses back as ClauseViews.
 class Clause {
 public:
   /// Builds the canonical form: sorts and deduplicates both sides.
@@ -84,14 +89,57 @@ private:
   uint64_t Hash;
 };
 
-/// A clause together with its database id and provenance.
-struct ClauseEntry {
-  Clause C;
-  uint32_t Id;
-  Justification J;
-  /// True once the clause has been deleted as redundant (subsumed or
-  /// demodulated away); kept for proof reconstruction.
-  bool Deleted = false;
+/// A non-owning, trivially copyable window onto a canonical clause
+/// whose equations live in someone else's storage — the ClauseDB's
+/// flat equation pool, or a Clause's own vectors (the implicit
+/// conversion). Spans are invalidated when the underlying pool grows;
+/// the inference rules therefore copy the ranges they need before any
+/// call that can append clauses, exactly as they copied whole Clause
+/// objects before the struct-of-arrays layout.
+class ClauseView {
+public:
+  ClauseView() = default;
+  ClauseView(std::span<const Equation> Neg, std::span<const Equation> Pos,
+             uint64_t Hash)
+      : Neg(Neg), Pos(Pos), Hash(Hash) {}
+  /*implicit*/ ClauseView(const Clause &C)
+      : Neg(C.neg()), Pos(C.pos()), Hash(C.fingerprint()) {}
+
+  std::span<const Equation> neg() const { return Neg; }
+  std::span<const Equation> pos() const { return Pos; }
+
+  bool empty() const { return Neg.empty() && Pos.empty(); }
+  size_t size() const { return Neg.size() + Pos.size(); }
+
+  /// See Clause::isTautology.
+  bool isTautology() const;
+
+  /// True iff this clause subsumes \p Other (Γ ⊆ Γ' and ∆ ⊆ ∆').
+  bool subsumes(ClauseView Other) const;
+
+  uint64_t fingerprint() const { return Hash; }
+
+  /// Deep copy into an owning Clause (the ranges are already
+  /// canonical, so this is a plain copy plus the hash).
+  Clause materialize() const {
+    return Clause(std::vector<Equation>(Neg.begin(), Neg.end()),
+                  std::vector<Equation>(Pos.begin(), Pos.end()));
+  }
+
+  friend bool operator==(ClauseView A, ClauseView B) {
+    return A.Neg.size() == B.Neg.size() && A.Pos.size() == B.Pos.size() &&
+           std::equal(A.Neg.begin(), A.Neg.end(), B.Neg.begin()) &&
+           std::equal(A.Pos.begin(), A.Pos.end(), B.Pos.begin());
+  }
+  friend bool operator!=(ClauseView A, ClauseView B) { return !(A == B); }
+
+  /// Renders e.g. "a ' b, c ' d -> e ' f" ("[]" for the empty clause).
+  std::string str(const TermTable &Terms) const;
+
+private:
+  std::span<const Equation> Neg;
+  std::span<const Equation> Pos;
+  uint64_t Hash = 0;
 };
 
 } // namespace sup

@@ -22,7 +22,7 @@ Order ClauseOrdering::compareLiterals(const OrientedLiteral &A,
 }
 
 std::vector<OrientedLiteral>
-ClauseOrdering::sortedLiterals(const Clause &C) const {
+ClauseOrdering::sortedLiterals(ClauseView C) const {
   std::vector<OrientedLiteral> Lits;
   Lits.reserve(C.size());
   for (const Equation &E : C.neg())
@@ -37,8 +37,8 @@ ClauseOrdering::sortedLiterals(const Clause &C) const {
 }
 
 Order ClauseOrdering::compareSortedLiterals(
-    const std::vector<OrientedLiteral> &LA,
-    const std::vector<OrientedLiteral> &LB) const {
+    std::span<const OrientedLiteral> LA,
+    std::span<const OrientedLiteral> LB) const {
   size_t N = std::min(LA.size(), LB.size());
   for (size_t I = 0; I != N; ++I) {
     Order O = compareLiterals(LA[I], LB[I]);
@@ -52,7 +52,7 @@ Order ClauseOrdering::compareSortedLiterals(
   return Order::Equal;
 }
 
-Order ClauseOrdering::compareClauses(const Clause &A, const Clause &B) const {
+Order ClauseOrdering::compareClauses(ClauseView A, ClauseView B) const {
   // For total element orders, the multiset extension coincides with a
   // lexicographic comparison of the descending-sorted sequences, with
   // a proper prefix being smaller.
@@ -60,7 +60,7 @@ Order ClauseOrdering::compareClauses(const Clause &A, const Clause &B) const {
 }
 
 bool ClauseOrdering::isMaximal(const OrientedLiteral &L,
-                               const Clause &C) const {
+                               ClauseView C) const {
   for (const Equation &E : C.neg())
     if (compareLiterals(orient(E, true), L) == Order::Greater)
       return false;
@@ -71,7 +71,7 @@ bool ClauseOrdering::isMaximal(const OrientedLiteral &L,
 }
 
 bool ClauseOrdering::isStrictlyMaximal(const OrientedLiteral &L,
-                                       const Clause &C) const {
+                                       ClauseView C) const {
   // Count literals >= L; exactly one (L's own occurrence) is allowed.
   unsigned GreaterOrEqual = 0;
   for (const Equation &E : C.neg())

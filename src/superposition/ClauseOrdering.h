@@ -48,28 +48,28 @@ public:
                         const OrientedLiteral &B) const;
 
   /// Multiset extension to clauses; total on canonical clauses.
-  Order compareClauses(const Clause &A, const Clause &B) const;
+  Order compareClauses(ClauseView A, ClauseView B) const;
 
   /// Descending-sorted oriented literal list of a clause. Exposed so
   /// callers that compare one clause many times (the model-generation
   /// sort) can precompute the lists once instead of re-sorting per
-  /// comparison.
-  std::vector<OrientedLiteral> sortedLiterals(const Clause &C) const;
+  /// comparison; the saturation engine pools the lists it computes.
+  std::vector<OrientedLiteral> sortedLiterals(ClauseView C) const;
 
   /// Lexicographic comparison of two descending-sorted literal lists —
   /// the multiset clause order on precomputed lists (a proper prefix
   /// is smaller).
-  Order compareSortedLiterals(const std::vector<OrientedLiteral> &LA,
-                              const std::vector<OrientedLiteral> &LB) const;
+  Order compareSortedLiterals(std::span<const OrientedLiteral> LA,
+                              std::span<const OrientedLiteral> LB) const;
 
   /// True if no literal of \p C is greater than \p L ("maximal").
-  bool isMaximal(const OrientedLiteral &L, const Clause &C) const;
+  bool isMaximal(const OrientedLiteral &L, ClauseView C) const;
 
   /// True if no literal of \p C is greater than or equal to \p L,
   /// other than one occurrence of \p L itself ("strictly maximal").
   /// Canonical clauses carry each literal once, so this reduces to:
   /// every other literal is strictly smaller.
-  bool isStrictlyMaximal(const OrientedLiteral &L, const Clause &C) const;
+  bool isStrictlyMaximal(const OrientedLiteral &L, ClauseView C) const;
 
   const TermOrder &termOrder() const { return Ord; }
 

@@ -37,7 +37,7 @@ unsigned walk(const Term *T, uint16_t *Buckets, uint64_t &Mask) {
 
 } // namespace
 
-FeatureVector FeatureVector::of(const Clause &C) {
+FeatureVector FeatureVector::of(ClauseView C) {
   FeatureVector FV;
   // Layout: [0] #neg, [1] #pos, [2] neg depth, [3] pos depth, then
   // NumBuckets neg symbol counts followed by NumBuckets pos counts.

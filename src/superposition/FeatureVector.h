@@ -50,7 +50,9 @@ public:
   FeatureVector() { Feats.fill(0); }
 
   /// Computes the features of \p C (one DAG walk per equation side).
-  static FeatureVector of(const Clause &C);
+  /// Takes a view so pooled clauses are featurized without
+  /// materializing; a `const Clause &` converts implicitly.
+  static FeatureVector of(ClauseView C);
 
   uint16_t operator[](size_t I) const { return Feats[I]; }
   size_t size() const { return NumFeatures; }

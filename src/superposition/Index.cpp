@@ -28,6 +28,7 @@ uint32_t SubsumptionIndex::allocNode() {
 
 void SubsumptionIndex::freeNode(uint32_t Idx) {
   Pool[Idx].Kids.clear();
+  Pool[Idx].Rest.clear();
   Pool[Idx].Ids.clear();
   Free.push_back(Idx);
 }
@@ -54,7 +55,7 @@ uint32_t SubsumptionIndex::findKid(const Node &N, uint16_t V) const {
 
 void SubsumptionIndex::insert(uint32_t Id, const FeatureVector &FV) {
   uint32_t Cur = 0;
-  for (size_t I = 0; I != FeatureVector::NumFeatures; ++I) {
+  for (size_t I = 0; I != PrefixDepth; ++I) {
     uint32_t Kid = findKid(Pool[Cur], FV[I]);
     if (Kid == ~0u) {
       Kid = allocNode(); // May reallocate Pool; re-find the parent.
@@ -64,19 +65,23 @@ void SubsumptionIndex::insert(uint32_t Id, const FeatureVector &FV) {
     }
     Cur = Kid;
   }
-  assert(std::find(Pool[Cur].Ids.begin(), Pool[Cur].Ids.end(), Id) ==
-             Pool[Cur].Ids.end() &&
+  Node &Leaf = Pool[Cur];
+  assert(std::find(Leaf.Ids.begin(), Leaf.Ids.end(), Id) ==
+             Leaf.Ids.end() &&
          "clause id inserted twice");
-  Pool[Cur].Ids.push_back(Id);
+  for (size_t J = PrefixDepth; J != FeatureVector::NumFeatures; ++J)
+    Leaf.Rest.push_back(FV[J]);
+  Leaf.Ids.push_back(Id);
   ++NumEntries;
 }
 
 bool SubsumptionIndex::erase(uint32_t Id, const FeatureVector &FV) {
-  // Walk the path down, then remove the id and prune now-empty nodes
-  // from the leaf back up so retrieval never visits dead regions.
-  std::array<uint32_t, FeatureVector::NumFeatures> Path;
+  // Walk the path down, then remove the id (swap with the last entry,
+  // feature block and all) and prune now-empty nodes from the leaf
+  // back up so retrieval never visits dead regions.
+  std::array<uint32_t, PrefixDepth> Path;
   uint32_t Cur = 0;
-  for (size_t I = 0; I != FeatureVector::NumFeatures; ++I) {
+  for (size_t I = 0; I != PrefixDepth; ++I) {
     Path[I] = Cur;
     Cur = findKid(Pool[Cur], FV[I]);
     if (Cur == ~0u)
@@ -86,10 +91,16 @@ bool SubsumptionIndex::erase(uint32_t Id, const FeatureVector &FV) {
   auto It = std::find(Leaf.Ids.begin(), Leaf.Ids.end(), Id);
   if (It == Leaf.Ids.end())
     return false;
-  *It = Leaf.Ids.back();
+  size_t E = static_cast<size_t>(It - Leaf.Ids.begin());
+  size_t Last = Leaf.Ids.size() - 1;
+  Leaf.Ids[E] = Leaf.Ids[Last];
   Leaf.Ids.pop_back();
+  if (E != Last)
+    std::copy_n(Leaf.Rest.begin() + Last * RestFeatures, RestFeatures,
+                Leaf.Rest.begin() + E * RestFeatures);
+  Leaf.Rest.resize(Last * RestFeatures);
   --NumEntries;
-  for (size_t I = FeatureVector::NumFeatures;
+  for (size_t I = PrefixDepth;
        I != 0 && Pool[Cur].Ids.empty() && Pool[Cur].Kids.empty(); --I) {
     Node &Parent = Pool[Path[I - 1]];
     auto KidIt = kidLowerBound(Parent.Kids, FV[I - 1]);

@@ -15,12 +15,23 @@
 /// therefore visits only the dominated (or dominating) region of the
 /// trie instead of scanning the whole clause database.
 ///
-/// The representation is tuned for traversal speed on the saturation
-/// hot path: nodes live contiguously in a pool (32-bit indices, free
-/// list for pruned subtrees), children are kept in small sorted
-/// vectors, and retrieval is visitor-based so forward-subsumption
-/// queries can stop at the first hit instead of materializing the
-/// whole candidate set.
+/// The trie is deliberately shallow: only the first PrefixDepth
+/// features (the literal counts and depths, which spread clauses the
+/// most) branch; the remaining bucket features of every entry live
+/// contiguously in its leaf, laid out in retrieval order. A full-depth
+/// trie spends most of a retrieval pointer-chasing sparsely populated
+/// suffix levels; the shallow form replaces that with a linear
+/// dominance scan over a flat uint16_t array — the branch prefix does
+/// the coarse pruning, the scan streams through a cache line per
+/// couple of entries. Nodes live contiguously in a pool (32-bit
+/// indices, free list for pruned subtrees), children are kept in small
+/// sorted vectors, and retrieval is visitor-based so forward-
+/// subsumption queries can stop at the first hit instead of
+/// materializing the whole candidate set. Retrieval order (which is
+/// NOT part of the API contract) differs from the full-depth trie;
+/// verdicts are unaffected because both sides of every query are
+/// order-independent (any subsumer suffices forward, the subsumed set
+/// is deleted wholesale backward).
 ///
 /// DemodIndex is a root-symbol fingerprint over the left-hand sides of
 /// the active unit demodulators. Each rule sets one bit of a 64-bit
@@ -102,6 +113,7 @@ public:
   void clear() {
     for (Node &N : Pool) {
       N.Kids.clear();
+      N.Rest.clear();
       N.Ids.clear();
     }
     Free.clear();
@@ -110,13 +122,24 @@ public:
     NumEntries = 0;
   }
 
+  /// Features that branch in the trie; the rest are scanned linearly
+  /// at the leaves.
+  static constexpr size_t PrefixDepth = 4;
+  /// Per-entry features stored flat in the leaf arrays.
+  static constexpr size_t RestFeatures =
+      FeatureVector::NumFeatures - PrefixDepth;
+
 private:
-  /// One trie node. Interior nodes hold children sorted by feature
-  /// value; leaves (depth == NumFeatures) hold clause ids. Both small
-  /// in practice, so sorted vectors beat node-based maps.
+  /// One trie node. Interior nodes (depth < PrefixDepth) hold children
+  /// sorted by feature value — small in practice, so sorted vectors
+  /// beat node-based maps. Leaves (depth == PrefixDepth) hold the
+  /// entries as parallel arrays: Rest packs RestFeatures values per
+  /// entry back to back, so the dominance scan walks one contiguous
+  /// uint16_t stream in exactly the order ids are visited.
   struct Node {
     std::vector<std::pair<uint16_t, uint32_t>> Kids; ///< (value, pool idx)
-    std::vector<uint32_t> Ids;
+    std::vector<uint16_t> Rest; ///< RestFeatures per entry, flat.
+    std::vector<uint32_t> Ids;  ///< Parallel to Rest's entry blocks.
   };
 
   uint32_t allocNode();
@@ -125,18 +148,36 @@ private:
   /// Child of \p N with feature value \p V, or ~0u.
   uint32_t findKid(const Node &N, uint16_t V) const;
 
+  /// Linear dominance scan over a leaf's flat feature blocks.
+  template <bool Below, typename VisitorT>
+  bool scanLeaf(const Node &N, const FeatureVector &FV,
+                VisitorT &Visit) const {
+    const uint16_t *R = N.Rest.data();
+    for (size_t E = 0, NumE = N.Ids.size(); E != NumE;
+         ++E, R += RestFeatures) {
+      bool Match = true;
+      for (size_t J = 0; J != RestFeatures; ++J) {
+        if (Below ? R[J] > FV[PrefixDepth + J]
+                  : R[J] < FV[PrefixDepth + J]) {
+          Match = false;
+          break;
+        }
+      }
+      if (Match && Visit(N.Ids[E]))
+        return true;
+    }
+    return false;
+  }
+
   /// Depth-first walk of the dominated (Below = true: values <=
-  /// FV[Depth]) or dominating (values >= FV[Depth]) region.
+  /// FV[Depth]) or dominating (values >= FV[Depth]) prefix region,
+  /// ending in a leaf scan.
   template <bool Below, typename VisitorT>
   bool traverse(uint32_t NodeIdx, const FeatureVector &FV, size_t Depth,
                 VisitorT &Visit) const {
     const Node &N = Pool[NodeIdx];
-    if (Depth == FeatureVector::NumFeatures) {
-      for (uint32_t Id : N.Ids)
-        if (Visit(Id))
-          return true;
-      return false;
-    }
+    if (Depth == PrefixDepth)
+      return scanLeaf<Below>(N, FV, Visit);
     // Kids are sorted by value: the qualifying range is a prefix
     // (Below) or a suffix (!Below).
     if constexpr (Below) {

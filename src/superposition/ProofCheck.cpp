@@ -15,7 +15,7 @@ using namespace slp::sup;
 
 namespace {
 
-void collectConstants(const Clause &C, std::vector<const Term *> &Out) {
+void collectConstants(ClauseView C, std::vector<const Term *> &Out) {
   auto Add = [&Out](const Term *T) {
     assert(T->isConstant() && "proof checking is defined for constants");
     if (std::find(Out.begin(), Out.end(), T) == Out.end())
@@ -33,7 +33,7 @@ void collectConstants(const Clause &C, std::vector<const Term *> &Out) {
 
 /// Evaluates a clause under a partition given as class index per
 /// constant (parallel to the constant list).
-bool clauseHolds(const Clause &C, const std::vector<const Term *> &Consts,
+bool clauseHolds(ClauseView C, const std::vector<const Term *> &Consts,
                  const std::vector<unsigned> &ClassOf) {
   auto Cls = [&](const Term *T) {
     size_t I =
@@ -52,12 +52,12 @@ bool clauseHolds(const Clause &C, const std::vector<const Term *> &Consts,
 } // namespace
 
 bool sup::entailsGround(const TermTable &Terms,
-                        const std::vector<const Clause *> &Premises,
-                        const Clause &Conclusion) {
+                        const std::vector<ClauseView> &Premises,
+                        ClauseView Conclusion) {
   (void)Terms; // Kept for API symmetry with the other checkers.
   std::vector<const Term *> Consts;
-  for (const Clause *P : Premises)
-    collectConstants(*P, Consts);
+  for (ClauseView P : Premises)
+    collectConstants(P, Consts);
   collectConstants(Conclusion, Consts);
   unsigned N = static_cast<unsigned>(Consts.size());
   if (N == 0)
@@ -67,8 +67,8 @@ bool sup::entailsGround(const TermTable &Terms,
   std::vector<unsigned> RGS(N, 0);
   for (;;) {
     bool AllPremises = true;
-    for (const Clause *P : Premises)
-      if (!clauseHolds(*P, Consts, RGS)) {
+    for (ClauseView P : Premises)
+      if (!clauseHolds(P, Consts, RGS)) {
         AllPremises = false;
         break;
       }
@@ -102,29 +102,30 @@ ProofCheckResult sup::checkDerivation(const Saturation &Sat, uint32_t RootId,
     Stack.pop_back();
     if (!Seen.insert(Id).second)
       continue;
-    const ClauseEntry &E = Sat.entry(Id);
-    for (uint32_t P : E.J.Parents)
+    const Justification &J = Sat.justification(Id);
+    for (uint32_t P : J.Parents)
       Stack.push_back(P);
-    if (E.J.Kind == RuleKind::Input)
+    if (J.Kind == RuleKind::Input)
       continue;
 
-    std::vector<const Clause *> Premises;
+    std::vector<ClauseView> Premises;
     std::vector<const Term *> Consts;
-    for (uint32_t P : E.J.Parents) {
-      Premises.push_back(&Sat.entry(P).C);
-      collectConstants(Sat.entry(P).C, Consts);
+    for (uint32_t P : J.Parents) {
+      Premises.push_back(Sat.clause(P));
+      collectConstants(Sat.clause(P), Consts);
     }
-    collectConstants(E.C, Consts);
+    ClauseView C = Sat.clause(Id);
+    collectConstants(C, Consts);
     if (Consts.size() > MaxConstants) {
       ++Result.StepsSkipped;
       continue;
     }
 
-    if (!entailsGround(Sat.terms(), Premises, E.C)) {
+    if (!entailsGround(Sat.terms(), Premises, C)) {
       Result.Ok = false;
       std::ostringstream OS;
-      OS << "step [" << Id << "] " << E.C.str(Sat.terms()) << " by "
-         << ruleKindName(E.J.Kind) << " does not follow from its premises";
+      OS << "step [" << Id << "] " << C.str(Sat.terms()) << " by "
+         << ruleKindName(J.Kind) << " does not follow from its premises";
       Result.Error = OS.str();
       return Result;
     }

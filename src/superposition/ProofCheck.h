@@ -51,8 +51,8 @@ inline ProofCheckResult checkRefutation(const Saturation &Sat,
 /// \p Premises satisfies \p Conclusion. Only defined for clauses over
 /// constants.
 bool entailsGround(const TermTable &Terms,
-                   const std::vector<const Clause *> &Premises,
-                   const Clause &Conclusion);
+                   const std::vector<ClauseView> &Premises,
+                   ClauseView Conclusion);
 
 } // namespace sup
 } // namespace slp

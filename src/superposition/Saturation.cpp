@@ -31,7 +31,9 @@ void Saturation::clear() {
   SubIdx.clear();
   NumLive = 0;
   Candidates.clear();
-  SortedLitsCache.clear();
+  LitPool.clear();
+  LitRefs.clear();
+  ++OrderMemoEpoch; // O(1) memo invalidation.
   FromByMax.clear();
   IntoBySubterm.clear();
   StaleDeleted = 0;
@@ -70,11 +72,11 @@ Saturation::AddResult Saturation::addInput(std::vector<Equation> Neg,
   Justification J;
   J.Kind = RuleKind::Input;
   J.ExternalTag = ExternalTag;
-  uint32_t Id = static_cast<uint32_t>(DB.size());
   bool Empty = C.empty();
   uint32_t Size = static_cast<uint32_t>(C.size());
-  Fingerprints.emplace(C.fingerprint(), Id);
-  DB.push_back({std::move(C), Id, std::move(J)});
+  Fingerprints.emplace(C.fingerprint(), static_cast<uint32_t>(DB.numClauses()));
+  uint32_t Id = DB.append(C, std::move(J));
+  Stats.PoolEquations = DB.poolEquations();
   registerClause(Id, FV);
   Passive.push({Size, Id});
   if (Empty && !EmptyClauseId)
@@ -102,11 +104,11 @@ std::optional<uint32_t> Saturation::keepDerived(Clause C, Justification J) {
     ++Stats.SubsumedFwd;
     return std::nullopt;
   }
-  uint32_t Id = static_cast<uint32_t>(DB.size());
   bool Empty = C.empty();
   uint32_t Size = static_cast<uint32_t>(C.size());
-  Fingerprints.emplace(C.fingerprint(), Id);
-  DB.push_back({std::move(C), Id, std::move(J)});
+  Fingerprints.emplace(C.fingerprint(), static_cast<uint32_t>(DB.numClauses()));
+  uint32_t Id = DB.append(C, std::move(J));
+  Stats.PoolEquations = DB.poolEquations();
   registerClause(Id, FV);
   Passive.push({Size, Id});
   ++Stats.Kept;
@@ -127,19 +129,19 @@ Saturation::DupOutcome Saturation::handleDuplicate(const Clause &C) {
   // resurrecting it would undo redundancy elimination.
   auto [It, End] = Fingerprints.equal_range(C.fingerprint());
   for (; It != End; ++It)
-    if (DB[It->second].C == C) {
+    if (DB.view(It->second) == ClauseView(C)) {
       uint32_t DupId = It->second;
-      if (!DB[DupId].Deleted)
+      if (!DB.deleted(DupId))
         return {DupOutcome::LiveDup, DupId};
       if (isForwardSubsumed(C, FVById[DupId], DupId)) {
         ++Stats.SubsumedFwd;
         return {DupOutcome::StillSubsumed, DupId};
       }
-      DB[DupId].Deleted = false;
+      DB.setDeleted(DupId, false);
       if (StaleDeleted)
         --StaleDeleted;
       registerClause(DupId, FVById[DupId]);
-      Passive.push({static_cast<uint32_t>(DB[DupId].C.size()), DupId});
+      Passive.push({DB.litCount(DupId), DupId});
       backwardSubsume(DupId);
       return {DupOutcome::Revived, DupId};
     }
@@ -158,7 +160,7 @@ void Saturation::registerClause(uint32_t Id, const FeatureVector &FV) {
     orderedLiveInsert(Id);
 }
 
-bool Saturation::isForwardSubsumed(const Clause &C, const FeatureVector &FV,
+bool Saturation::isForwardSubsumed(ClauseView C, const FeatureVector &FV,
                                    uint32_t ExcludeId) {
   if (!Opts.Subsumption)
     return false;
@@ -166,21 +168,21 @@ bool Saturation::isForwardSubsumed(const Clause &C, const FeatureVector &FV,
   // A full-database scan would consider every live clause except the
   // excluded one (when it is live, e.g. the given-clause re-check).
   Stats.SubScanBaseline +=
-      NumLive - (ExcludeId != ~0u && !DB[ExcludeId].Deleted ? 1 : 0);
+      NumLive - (ExcludeId != ~0u && !DB.deleted(ExcludeId) ? 1 : 0);
   if (indexed()) {
     // Early exit at the first subsumer, mirroring the linear scan.
     return SubIdx.anyPotentialSubsumer(FV, [&](uint32_t Id) {
       if (Id == ExcludeId)
         return false;
       ++Stats.SubChecks;
-      return DB[Id].C.subsumes(C);
+      return DB.view(Id).subsumes(C);
     });
   }
-  for (const ClauseEntry &E : DB) {
-    if (E.Deleted || E.Id == ExcludeId)
+  for (uint32_t Id = 0; Id != DB.numClauses(); ++Id) {
+    if (DB.deleted(Id) || Id == ExcludeId)
       continue;
     ++Stats.SubChecks;
-    if (E.C.subsumes(C))
+    if (DB.view(Id).subsumes(C))
       return true;
   }
   return false;
@@ -189,7 +191,9 @@ bool Saturation::isForwardSubsumed(const Clause &C, const FeatureVector &FV,
 void Saturation::backwardSubsume(uint32_t NewId) {
   if (!Opts.Subsumption)
     return;
-  const Clause &C = DB[NewId].C;
+  // View, not copy: nothing below appends to the DB (deleteClause only
+  // flips flags), so the spans stay valid for the whole sweep.
+  ClauseView C = DB.view(NewId);
   ++Stats.SubQueries;
   // NewId itself is live and registered by now; a scan skips it.
   Stats.SubScanBaseline += NumLive - 1;
@@ -202,19 +206,20 @@ void Saturation::backwardSubsume(uint32_t NewId) {
       if (Id == NewId)
         continue;
       ++Stats.SubChecks;
-      if (C.subsumes(DB[Id].C)) {
+      if (C.subsumes(DB.view(Id))) {
         deleteClause(Id);
         ++Stats.SubsumedBwd;
       }
     }
     return;
   }
-  for (ClauseEntry &E : DB) {
-    if (E.Deleted || E.Id == NewId)
+  const uint32_t N = static_cast<uint32_t>(DB.numClauses());
+  for (uint32_t Id = 0; Id != N; ++Id) {
+    if (DB.deleted(Id) || Id == NewId)
       continue;
     ++Stats.SubChecks;
-    if (C.subsumes(E.C)) {
-      deleteClause(E.Id);
+    if (C.subsumes(DB.view(Id))) {
+      deleteClause(Id);
       ++Stats.SubsumedBwd;
     }
   }
@@ -227,10 +232,11 @@ void Saturation::backwardSubsume(uint32_t NewId) {
 void Saturation::maybeAddDemodulator(uint32_t Id) {
   if (!Opts.Demodulation)
     return;
-  const Clause &C = DB[Id].C;
+  ClauseView C = DB.view(Id);
   if (!C.neg().empty() || C.pos().size() != 1)
     return;
-  const Equation &E = C.pos().front();
+  const Equation E = C.pos().front(); // Copy: keepDerived below grows
+                                      // the equation pool.
   if (E.trivial())
     return;
   const Term *L = Ordering.termOrder().max(E.lhs(), E.rhs());
@@ -247,11 +253,11 @@ void Saturation::maybeAddDemodulator(uint32_t Id) {
   // skipped without walking its terms.
   const uint64_t LhsBit = FeatureVector::symbolBit(L->symbol());
   for (uint32_t ActId : Active) {
-    if (ActId == Id || DB[ActId].Deleted)
+    if (ActId == Id || DB.deleted(ActId))
       continue;
     if (!(FVById[ActId].symbolMask() & LhsBit))
       continue;
-    auto Rewritten = demodClause(DB[ActId].C, ActId);
+    auto Rewritten = demodClause(DB.view(ActId), ActId);
     if (!Rewritten)
       continue;
     deleteClause(ActId);
@@ -294,7 +300,7 @@ const Term *Saturation::demodTerm(const Term *T, uint32_t SelfId,
 }
 
 std::optional<std::pair<Clause, std::vector<uint32_t>>>
-Saturation::demodClause(const Clause &C, uint32_t SelfId) {
+Saturation::demodClause(ClauseView C, uint32_t SelfId) {
   // The clause can only be rewritten if some demodulator's left-hand
   // side occurs inside it, which requires the root-symbol fingerprints
   // to intersect.
@@ -327,9 +333,9 @@ Saturation::demodClause(const Clause &C, uint32_t SelfId) {
 }
 
 void Saturation::deleteClause(uint32_t Id) {
-  if (DB[Id].Deleted)
+  if (DB.deleted(Id))
     return;
-  DB[Id].Deleted = true;
+  DB.setDeleted(Id, true);
   --NumLive;
   ++StaleDeleted;
   if (indexed())
@@ -361,7 +367,7 @@ void Saturation::compactIndexes() {
   uint64_t Purged = 0;
 
   for (auto It = Fingerprints.begin(); It != Fingerprints.end();) {
-    if (DB[It->second].Deleted) {
+    if (DB.deleted(It->second)) {
       It = Fingerprints.erase(It);
       ++Purged;
     } else {
@@ -375,7 +381,7 @@ void Saturation::compactIndexes() {
           std::vector<uint32_t> &Ids = It->second;
           size_t Kept = 0;
           for (uint32_t Id : Ids)
-            if (!DB[Id].Deleted)
+            if (!DB.deleted(Id))
               Ids[Kept++] = Id;
           Purged += Ids.size() - Kept;
           Ids.resize(Kept);
@@ -468,10 +474,29 @@ SatResult Saturation::saturateModelGuided(
 //===----------------------------------------------------------------------===//
 
 bool Saturation::clauseOrderLess(uint32_t A, uint32_t B) const {
+  if (A == B)
+    return false;
+  // Memoized tie-break: the ordered live set and the model-generation
+  // sort compare the same id pairs over and over; a hit answers from
+  // the small-id key without touching the literal pool.
+  const uint64_t Key = (static_cast<uint64_t>(A) << 32) | B;
+  if (OrderMemo.empty())
+    OrderMemo.resize(OrderMemoSize);
+  const size_t Slot = (Key * 0x9E3779B97F4A7C15ull) >> 52; // log2(Size)=12
+  OrderMemoEntry &E = OrderMemo[Slot];
+  if (E.Key == Key && E.Epoch == OrderMemoEpoch) {
+    ++Stats.OrderCacheHits;
+    Order O = static_cast<Order>(E.Val);
+    return O == Order::Equal ? A < B : O == Order::Less;
+  }
+  ++Stats.OrderCacheMisses;
+  // Materialize both lists before taking spans: interning one can
+  // relocate the pool backing the other.
+  (void)sortedLits(A);
+  (void)sortedLits(B);
   Order O = Ordering.compareSortedLiterals(sortedLits(A), sortedLits(B));
-  if (O != Order::Equal)
-    return O == Order::Less;
-  return A < B;
+  E = {Key, OrderMemoEpoch, static_cast<uint8_t>(O)};
+  return O == Order::Equal ? A < B : O == Order::Less;
 }
 
 void Saturation::orderedLiveInsert(uint32_t Id) {
@@ -541,8 +566,8 @@ bool Saturation::attemptModelIncremental(
   if (IncModel.rules() != PrevRules)
     ++CertEpoch;
 
-  if (SatOkEpoch.size() < DB.size())
-    SatOkEpoch.resize(DB.size(), 0);
+  if (SatOkEpoch.size() < DB.numClauses())
+    SatOkEpoch.resize(DB.numClauses(), 0);
 
   bool Ok = true;
   for (uint32_t Id : OrderedLive) {
@@ -550,7 +575,7 @@ bool Saturation::attemptModelIncremental(
       ++Stats.CertSkipped;
       continue;
     }
-    if (!modelSatisfies(IncModel, DB[Id].C)) {
+    if (!modelSatisfies(IncModel, DB.view(Id))) {
       Ok = false;
       break;
     }
@@ -560,15 +585,15 @@ bool Saturation::attemptModelIncremental(
   // falsified by the *final* R (later edges can invalidate earlier
   // production decisions on an unsaturated set, so re-check).
   if (Ok) {
-    if (ResidualOkEpoch.size() < DB.size())
-      ResidualOkEpoch.resize(DB.size(), 0);
+    if (ResidualOkEpoch.size() < DB.numClauses())
+      ResidualOkEpoch.resize(DB.numClauses(), 0);
     for (const RewriteRule &Rule : IncModel.rules()) {
       const uint32_t GenId = Rule.GeneratingClause;
       if (ResidualOkEpoch[GenId] == CertEpoch) {
         ++Stats.CertSkipped;
         continue;
       }
-      const Clause &Gen = DB[GenId].C;
+      ClauseView Gen = DB.view(GenId);
       Equation Edge(Rule.Lhs, Rule.Rhs);
       bool Falsified = true;
       for (const Equation &E : Gen.neg())
@@ -604,12 +629,12 @@ void Saturation::stepGivenClause() {
   // small clauses simplify more and reach the empty clause sooner.
   uint32_t GivenId = Passive.top().second;
   Passive.pop();
-  if (DB[GivenId].Deleted)
+  if (DB.deleted(GivenId))
     return;
 
   // Forward demodulation: replace the given clause by its normal
   // form and requeue.
-  if (auto Rewritten = demodClause(DB[GivenId].C, GivenId)) {
+  if (auto Rewritten = demodClause(DB.view(GivenId), GivenId)) {
     deleteClause(GivenId);
     ++Stats.Demodulated;
     Justification J;
@@ -621,7 +646,7 @@ void Saturation::stepGivenClause() {
     return;
   }
 
-  const Clause &C = DB[GivenId].C;
+  ClauseView C = DB.view(GivenId);
   if (C.isTautology()) {
     deleteClause(GivenId);
     ++Stats.Tautologies;
@@ -648,17 +673,18 @@ void Saturation::stepGivenClause() {
 
 std::vector<uint32_t> Saturation::allStored() const {
   std::vector<uint32_t> Ids;
-  Ids.reserve(DB.size());
-  for (const ClauseEntry &E : DB)
-    if (!E.Deleted)
-      Ids.push_back(E.Id);
+  const uint32_t N = static_cast<uint32_t>(DB.numClauses());
+  Ids.reserve(N);
+  for (uint32_t Id = 0; Id != N; ++Id)
+    if (!DB.deleted(Id))
+      Ids.push_back(Id);
   return Ids;
 }
 
 std::vector<uint32_t> Saturation::liveClauses() const {
   std::vector<uint32_t> Live;
   for (uint32_t Id : Active)
-    if (!DB[Id].Deleted)
+    if (!DB.deleted(Id))
       Live.push_back(Id);
   // Revived clauses may be activated twice; deduplicate.
   std::sort(Live.begin(), Live.end());
@@ -704,9 +730,9 @@ void Saturation::generateInferences(uint32_t GivenId) {
       // Copy: superpose() may grow the index maps.
       std::vector<uint32_t> Partners = It->second;
       for (uint32_t Partner : Partners) {
-        if (DB[GivenId].Deleted)
+        if (DB.deleted(GivenId))
           return;
-        if (Partner != GivenId && !DB[Partner].Deleted)
+        if (Partner != GivenId && !DB.deleted(Partner))
           superpose(GivenId, Partner);
       }
     }
@@ -719,9 +745,9 @@ void Saturation::generateInferences(uint32_t GivenId) {
       continue;
     std::vector<uint32_t> Partners = It->second;
     for (uint32_t Partner : Partners) {
-      if (DB[GivenId].Deleted)
+      if (DB.deleted(GivenId))
         return;
-      if (Partner != GivenId && !DB[Partner].Deleted)
+      if (Partner != GivenId && !DB.deleted(Partner))
         superpose(Partner, GivenId);
     }
   }
@@ -764,8 +790,8 @@ void Saturation::replacements(const Term *In, const Term *Find,
 }
 
 OrientedLiteral Saturation::maxLiteral(uint32_t Id) const {
-  assert(!DB[Id].C.empty() && "the empty clause has no literals");
-  // The descending-sorted list is cached per clause id; its head is
+  assert(!DB.view(Id).empty() && "the empty clause has no literals");
+  // The descending-sorted list is interned per clause id; its head is
   // the unique maximal literal (one derivation serves both uses).
   return sortedLits(Id).front();
 }
@@ -789,31 +815,35 @@ void Saturation::superpose(uint32_t FromId, uint32_t IntoId) {
   if (Repls.empty())
     return;
 
-  // Copies, not references: keepDerived grows the clause database.
-  const Clause F = DB[FromId].C;
-  const Clause G = DB[IntoId].C;
+  // Copies, not views: keepDerived grows the equation pool, which
+  // would invalidate spans into it.
+  ClauseView FView = DB.view(FromId), GView = DB.view(IntoId);
+  const std::vector<Equation> FNeg(FView.neg().begin(), FView.neg().end());
+  const std::vector<Equation> FPos(FView.pos().begin(), FView.pos().end());
+  const std::vector<Equation> GNeg(GView.neg().begin(), GView.neg().end());
+  const std::vector<Equation> GPos(GView.pos().begin(), GView.pos().end());
   const Equation FromEq(MF.Max, MF.Min);
   const Equation IntoEq(MG.Max, MG.Min);
 
   for (const Term *NewMax : Repls) {
-    std::vector<Equation> Neg(F.neg());
+    std::vector<Equation> Neg(FNeg);
     std::vector<Equation> Pos;
-    for (const Equation &PE : F.pos())
+    for (const Equation &PE : FPos)
       if (PE != FromEq)
         Pos.push_back(PE);
     Justification J;
     if (MG.Negative) {
       // Superposition left: Γ1,Γ2, s[r]'t -> ∆1,∆2.
-      for (const Equation &NE : G.neg())
+      for (const Equation &NE : GNeg)
         if (NE != IntoEq)
           Neg.push_back(NE);
       Neg.emplace_back(NewMax, MG.Min);
-      Pos.insert(Pos.end(), G.pos().begin(), G.pos().end());
+      Pos.insert(Pos.end(), GPos.begin(), GPos.end());
       J.Kind = RuleKind::SupLeft;
     } else {
       // Superposition right: Γ1,Γ2 -> ∆1,∆2, s[r]'t.
-      Neg.insert(Neg.end(), G.neg().begin(), G.neg().end());
-      for (const Equation &PE : G.pos())
+      Neg.insert(Neg.end(), GNeg.begin(), GNeg.end());
+      for (const Equation &PE : GPos)
         if (PE != IntoEq)
           Pos.push_back(PE);
       Pos.emplace_back(NewMax, MG.Min);
@@ -830,7 +860,9 @@ void Saturation::equalityResolution(uint32_t Id) {
   const OrientedLiteral M = maxLiteral(Id);
   if (!M.Negative || M.Max != M.Min)
     return;
-  const Clause C = DB[Id].C; // Copy: keepDerived reallocates the DB.
+  // Copies: keepDerived grows the equation pool under the view.
+  ClauseView C = DB.view(Id);
+  std::vector<Equation> Pos(C.pos().begin(), C.pos().end());
   const Equation MEq(M.Max, M.Min);
   std::vector<Equation> Neg;
   for (const Equation &NE : C.neg())
@@ -839,7 +871,7 @@ void Saturation::equalityResolution(uint32_t Id) {
   Justification J;
   J.Kind = RuleKind::EqRes;
   J.Parents = {Id};
-  keepDerived(Clause(std::move(Neg), C.pos()), std::move(J));
+  keepDerived(Clause(std::move(Neg), std::move(Pos)), std::move(J));
 }
 
 void Saturation::equalityFactoring(uint32_t Id) {
@@ -848,18 +880,21 @@ void Saturation::equalityFactoring(uint32_t Id) {
   const OrientedLiteral M = maxLiteral(Id);
   if (M.Negative || M.Max == M.Min)
     return;
-  const Clause C = DB[Id].C; // Copy: keepDerived reallocates the DB.
+  // Copies: keepDerived grows the equation pool under the view.
+  ClauseView C = DB.view(Id);
+  const std::vector<Equation> CNeg(C.neg().begin(), C.neg().end());
+  const std::vector<Equation> CPos(C.pos().begin(), C.pos().end());
   const Equation MEq(M.Max, M.Min);
-  for (const Equation &E2 : C.pos()) {
+  for (const Equation &E2 : CPos) {
     if (E2 == MEq)
       continue;
     OrientedLiteral L2 = Ordering.orient(E2, /*Negative=*/false);
     if (L2.Max != M.Max)
       continue;
-    std::vector<Equation> Neg(C.neg());
+    std::vector<Equation> Neg(CNeg);
     Neg.emplace_back(M.Min, L2.Min);
     std::vector<Equation> Pos;
-    for (const Equation &PE : C.pos())
+    for (const Equation &PE : CPos)
       if (PE != MEq)
         Pos.push_back(PE);
     Justification J;
@@ -879,14 +914,31 @@ GroundRewriteSystem Saturation::genModel() const {
   return genModelFrom(liveClauses());
 }
 
-const std::vector<OrientedLiteral> &
-Saturation::sortedLits(uint32_t Id) const {
-  if (SortedLitsCache.size() <= Id)
-    SortedLitsCache.resize(Id + 1);
-  std::optional<std::vector<OrientedLiteral>> &Slot = SortedLitsCache[Id];
-  if (!Slot)
-    Slot.emplace(Ordering.sortedLiterals(DB[Id].C));
-  return *Slot;
+std::span<const OrientedLiteral> Saturation::sortedLits(uint32_t Id) const {
+  if (LitRefs.size() <= Id)
+    LitRefs.resize(Id + 1);
+  LitListRef &Ref = LitRefs[Id];
+  if (Ref.Off == ~0u) {
+    // Intern on first use: orient and sort into the scratch buffer,
+    // then append to the flat pool (clauses are immutable, so the
+    // list never changes afterwards).
+    LitScratch.clear();
+    ClauseView C = DB.view(Id);
+    LitScratch.reserve(C.size());
+    for (const Equation &E : C.neg())
+      LitScratch.push_back(Ordering.orient(E, /*Negative=*/true));
+    for (const Equation &E : C.pos())
+      LitScratch.push_back(Ordering.orient(E, /*Negative=*/false));
+    std::sort(LitScratch.begin(), LitScratch.end(),
+              [this](const OrientedLiteral &A, const OrientedLiteral &B) {
+                return Ordering.compareLiterals(A, B) == Order::Greater;
+              });
+    Ref.Off = static_cast<uint32_t>(LitPool.size());
+    Ref.Len = static_cast<uint32_t>(LitScratch.size());
+    LitPool.insert(LitPool.end(), LitScratch.begin(), LitScratch.end());
+    Stats.PoolLiterals = LitPool.size();
+  }
+  return {LitPool.data() + Ref.Off, Ref.Len};
 }
 
 GroundRewriteSystem
@@ -894,11 +946,11 @@ Saturation::genModelFrom(std::vector<uint32_t> Ids) const {
   GroundRewriteSystem R(Terms);
 
   // Process clauses in ascending clause order (Bachmair-Ganzinger).
-  // The per-id sorted literal lists are cached: the model-guided
-  // saturation re-sorts the whole database on every attempt, and
-  // re-deriving the lists per comparison would dominate its cost.
-  // Materialize every list first — a cache miss inside the comparator
-  // would grow the cache vector and dangle the other argument.
+  // The per-id sorted literal lists are interned in the flat pool: the
+  // model-guided saturation re-sorts the whole database on every
+  // attempt, and re-deriving the lists per comparison would dominate
+  // its cost. Materialize every list first so comparator probes never
+  // grow the pool mid-sort.
   for (uint32_t Id : Ids)
     (void)sortedLits(Id);
   std::sort(Ids.begin(), Ids.end(),
@@ -913,7 +965,7 @@ void Saturation::genStep(GroundRewriteSystem &R, uint32_t Id) const {
   // Only the greatest literal can be strictly maximal, and it is iff
   // it strictly exceeds the runner-up; canonical clauses carry no
   // duplicate literals, so the comparison below is never Equal.
-  const std::vector<OrientedLiteral> &Lits = sortedLits(Id);
+  std::span<const OrientedLiteral> Lits = sortedLits(Id);
   if (Lits.empty())
     return;
   const OrientedLiteral &L = Lits.front();
@@ -925,7 +977,7 @@ void Saturation::genStep(GroundRewriteSystem &R, uint32_t Id) const {
   // side is irreducible.
   if (R.normalize(L.Max) != L.Max)
     return;
-  if (modelSatisfies(R, DB[Id].C))
+  if (modelSatisfies(R, DB.view(Id)))
     return;
   R.addRule(L.Max, L.Min, Id);
 }
@@ -933,13 +985,13 @@ void Saturation::genStep(GroundRewriteSystem &R, uint32_t Id) const {
 bool Saturation::modelCertified(const GroundRewriteSystem &R,
                                 const std::vector<uint32_t> &Ids) const {
   for (uint32_t Id : Ids)
-    if (!modelSatisfies(R, DB[Id].C))
+    if (!modelSatisfies(R, DB.view(Id)))
       return false;
   // Lemma 3.1(2): the residual of each generating clause must be
   // falsified by the *final* R (later edges can invalidate earlier
   // production decisions on an unsaturated set, so re-check).
   for (const RewriteRule &Rule : R.rules()) {
-    const Clause &Gen = DB[Rule.GeneratingClause].C;
+    ClauseView Gen = DB.view(Rule.GeneratingClause);
     Equation Edge(Rule.Lhs, Rule.Rhs);
     for (const Equation &E : Gen.neg())
       if (!R.equivalent(E.lhs(), E.rhs()))
@@ -952,7 +1004,7 @@ bool Saturation::modelCertified(const GroundRewriteSystem &R,
 }
 
 bool Saturation::modelSatisfies(const GroundRewriteSystem &R,
-                                const Clause &C) {
+                                ClauseView C) {
   for (const Equation &E : C.neg())
     if (!R.equivalent(E.lhs(), E.rhs()))
       return true;
@@ -964,7 +1016,7 @@ bool Saturation::modelSatisfies(const GroundRewriteSystem &R,
 
 bool Saturation::verifyModel(const GroundRewriteSystem &R) const {
   for (uint32_t Id : liveClauses())
-    if (!modelSatisfies(R, DB[Id].C))
+    if (!modelSatisfies(R, DB.view(Id)))
       return false;
   return true;
 }

@@ -22,6 +22,7 @@
 #ifndef SLP_SUPERPOSITION_SATURATION_H
 #define SLP_SUPERPOSITION_SATURATION_H
 
+#include "superposition/ClauseDB.h"
 #include "superposition/ClauseOrdering.h"
 #include "superposition/Index.h"
 #include "support/Fuel.h"
@@ -29,6 +30,7 @@
 
 #include <optional>
 #include <queue>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -102,6 +104,16 @@ struct SaturationStats {
   /// computed under fewer rules — work the pre-watermark cache would
   /// have redone from scratch after every addRule.
   uint64_t NfCacheReuse = 0;
+  /// Struct-of-arrays pool occupancy at the last keep: equations in
+  /// the flat clause arena and oriented literals in the sorted-list
+  /// pool. Mirrored to the sat.pool.* metrics.
+  uint64_t PoolEquations = 0;
+  uint64_t PoolLiterals = 0;
+  /// Clause-order memo traffic (clauseOrderLess pair cache): answers
+  /// served without touching the literal pool, and misses that fell
+  /// through to a full list comparison.
+  uint64_t OrderCacheHits = 0;
+  uint64_t OrderCacheMisses = 0;
 };
 
 /// Incremental ground superposition engine.
@@ -170,8 +182,14 @@ public:
   uint32_t emptyClauseId() const { return *EmptyClauseId; }
 
   /// Clause database access (ids are stable; includes deleted ones).
-  const ClauseEntry &entry(uint32_t Id) const { return DB.at(Id); }
-  size_t numClauses() const { return DB.size(); }
+  /// The view's spans point into the database's flat equation pool and
+  /// are invalidated when a clause is added (saturate, addInput).
+  ClauseView clause(uint32_t Id) const { return DB.view(Id); }
+  bool deleted(uint32_t Id) const { return DB.deleted(Id); }
+  const Justification &justification(uint32_t Id) const {
+    return DB.justification(Id);
+  }
+  size_t numClauses() const { return DB.numClauses(); }
 
   /// Ids of live clauses of the saturated set S*.
   std::vector<uint32_t> liveClauses() const;
@@ -185,7 +203,7 @@ public:
 
   /// True iff R* |' C, i.e. some Γ-equation is false or some
   /// ∆-equation true under the congruence induced by \p R.
-  static bool modelSatisfies(const GroundRewriteSystem &R, const Clause &C);
+  static bool modelSatisfies(const GroundRewriteSystem &R, ClauseView C);
 
   /// Checks R against every live clause; used by tests to validate the
   /// Gen construction (Theorem 3.1).
@@ -211,14 +229,18 @@ private:
   /// The unique maximal literal of a (canonical, nonempty) clause.
   /// With a total literal order and deduplicated literals there is
   /// exactly one, so every ordering side condition of the calculus
-  /// reduces to a comparison against it. Derived from the cached
+  /// reduces to a comparison against it. Derived from the pooled
   /// sorted-literal list (its front), so each clause's literals are
   /// oriented and ordered exactly once; returned by value because
-  /// cache growth relocates the list storage.
+  /// pool growth relocates the list storage.
   OrientedLiteral maxLiteral(uint32_t Id) const;
 
-  /// Descending-sorted literals of a clause, cached per clause id.
-  const std::vector<OrientedLiteral> &sortedLits(uint32_t Id) const;
+  /// Descending-sorted literals of a clause, interned in the flat
+  /// literal pool on first use (each id's list is computed exactly
+  /// once; the returned span is invalidated when another id's list is
+  /// materialized, so callers comparing two lists materialize both
+  /// before taking spans).
+  std::span<const OrientedLiteral> sortedLits(uint32_t Id) const;
 
   /// Replaces every occurrence position of \p Find in \p In one at a
   /// time; appends each single-position replacement result.
@@ -234,11 +256,11 @@ private:
   /// Applies demodulation to clause \p SelfId; returns the rewritten
   /// clause and the used unit ids, or nullopt if already normal.
   std::optional<std::pair<Clause, std::vector<uint32_t>>>
-  demodClause(const Clause &C, uint32_t SelfId);
+  demodClause(ClauseView C, uint32_t SelfId);
 
   /// True iff some live clause other than \p ExcludeId subsumes \p C.
   /// \p FV must be C's feature vector. Uses the index when enabled.
-  bool isForwardSubsumed(const Clause &C, const FeatureVector &FV,
+  bool isForwardSubsumed(ClauseView C, const FeatureVector &FV,
                          uint32_t ExcludeId = ~0u);
 
   /// Deletes every live clause the newly kept clause \p NewId
@@ -322,7 +344,9 @@ private:
   ClauseOrdering Ordering;
   SaturationOptions Opts;
 
-  std::vector<ClauseEntry> DB;
+  /// Struct-of-arrays clause storage (flat equation pool, hot records,
+  /// cold provenance); see ClauseDB.h.
+  ClauseDB DB;
   std::unordered_multimap<uint64_t, uint32_t> Fingerprints;
   std::vector<uint32_t> Active;
   // Passive queue, popped smallest-first by (size, id); entries are
@@ -350,12 +374,33 @@ private:
   size_t NumLive = 0;
   /// Scratch buffer for index retrievals.
   std::vector<uint32_t> Candidates;
-  /// Memoized descending-sorted literal list per clause id (clauses
-  /// are immutable): the single source of literal orientation and
-  /// order — maxLiteral() reads its front, the ordered live set and
-  /// the model-generation sort compare whole lists.
-  mutable std::vector<std::optional<std::vector<OrientedLiteral>>>
-      SortedLitsCache;
+  /// Interned descending-sorted literal lists, one contiguous pool for
+  /// every clause (clauses are immutable, and distinct live clauses
+  /// have distinct lists, so the clause id doubles as the list id):
+  /// the single source of literal orientation and order —
+  /// maxLiteral() reads a list's front, the ordered live set and the
+  /// model-generation sort compare whole lists via clauseOrderLess.
+  mutable std::vector<OrientedLiteral> LitPool;
+  struct LitListRef {
+    uint32_t Off = ~0u; ///< ~0u = not yet materialized.
+    uint32_t Len = 0;
+  };
+  mutable std::vector<LitListRef> LitRefs;
+  /// Scratch for sortedLiterals() results before pool insertion.
+  mutable std::vector<OrientedLiteral> LitScratch;
+  /// Direct-mapped memo of clauseOrderLess results keyed by the id
+  /// pair — the "memoized tie-break" behind the small-id fast path
+  /// (equal ids answer Equal without any lookup). Epoch-stamped so
+  /// clear() costs O(1).
+  struct OrderMemoEntry {
+    uint64_t Key = 0; ///< (A << 32) | B; the A == B diagonal never
+                      ///< reaches the memo, so 0 is never probed.
+    uint32_t Epoch = 0;
+    uint8_t Val = 0; ///< Order enumerator index.
+  };
+  static constexpr size_t OrderMemoSize = 1 << 12;
+  mutable std::vector<OrderMemoEntry> OrderMemo; ///< Lazily allocated.
+  mutable uint32_t OrderMemoEpoch = 1;
   /// Scratch for replacements(): the explicit occurrence walk and the
   /// argument buffer used to rebuild terms along the spine, reused
   /// across calls instead of allocating per argument position.
@@ -418,7 +463,9 @@ private:
   /// residual check of its edge last passed.
   std::vector<uint64_t> ResidualOkEpoch;
 
-  SaturationStats Stats;
+  /// Mutable: the pool/memo counters are maintained from const paths
+  /// (sortedLits, clauseOrderLess), like the pools themselves.
+  mutable SaturationStats Stats;
 };
 
 } // namespace sup

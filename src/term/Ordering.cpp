@@ -27,26 +27,41 @@ Order KBO::compare(const Term *A, const Term *B) const {
   if (A == B)
     return Order::Equal;
 
-  uint64_t WA = weight(A), WB = weight(B);
-  if (WA < WB)
-    return Order::Less;
-  if (WA > WB)
-    return Order::Greater;
+  // Pair cache probe. The recursive argument comparisons below go
+  // through compare() too, so deep shared subterms hit as well.
+  const uint64_t Key = (static_cast<uint64_t>(A->id()) << 32) | B->id();
+  if (PairCache.empty())
+    PairCache.resize(PairCacheSize);
+  const size_t Slot = (Key * 0x9E3779B97F4A7C15ull) >> 51; // log2(Size)=13
+  PairEntry &E = PairCache[Slot];
+  if (E.Key == Key && E.Epoch == PairEpoch)
+    return static_cast<Order>(E.Val);
 
-  Order Head = Prec.compare(A->symbol(), B->symbol());
-  if (Head != Order::Equal)
-    return Head;
+  Order Result = [&] {
+    uint64_t WA = weight(A), WB = weight(B);
+    if (WA < WB)
+      return Order::Less;
+    if (WA > WB)
+      return Order::Greater;
 
-  assert(A->numArgs() == B->numArgs() && "equal symbols, equal arities");
-  for (unsigned I = 0; I != A->numArgs(); ++I) {
-    Order O = compare(A->arg(I), B->arg(I));
-    if (O != Order::Equal)
-      return O;
-  }
-  // Interning guarantees structurally equal ground terms are pointer
-  // equal, so this point is unreachable for A != B.
-  assert(false && "distinct interned terms compared equal");
-  return Order::Equal;
+    Order Head = Prec.compare(A->symbol(), B->symbol());
+    if (Head != Order::Equal)
+      return Head;
+
+    assert(A->numArgs() == B->numArgs() && "equal symbols, equal arities");
+    for (unsigned I = 0; I != A->numArgs(); ++I) {
+      Order O = compare(A->arg(I), B->arg(I));
+      if (O != Order::Equal)
+        return O;
+    }
+    // Interning guarantees structurally equal ground terms are pointer
+    // equal, so this point is unreachable for A != B.
+    assert(false && "distinct interned terms compared equal");
+    return Order::Equal;
+  }();
+
+  E = {Key, PairEpoch, static_cast<uint8_t>(Result)};
+  return Result;
 }
 
 Order LPO::compare(const Term *A, const Term *B) const {

@@ -105,6 +105,15 @@ public:
 /// first, then head precedence, then arguments lexicographically.
 /// With a total precedence this is a total simplification order on
 /// ground terms, as required by the calculus of Nieuwenhuis-Rubio.
+///
+/// Two memoization layers serve the saturation hot loops
+/// (compareSortedLiterals, demodulation orientation), which compare
+/// the same few hundred interned terms against each other over and
+/// over: a per-term weight memo and a direct-mapped (idA, idB) pair
+/// cache of full comparison results. Both are keyed by dense term ids,
+/// so both must be dropped via invalidateCache() when the TermTable is
+/// rewound. Like the weight memo, the pair cache makes a KBO instance
+/// single-thread-per-instance (each ProverSession owns its own).
 class KBO : public TermOrder {
 public:
   explicit KBO(Precedence Prec = Precedence(), uint64_t SymbolWeight = 1)
@@ -118,16 +127,35 @@ public:
   const Precedence &precedence() const { return Prec; }
   Precedence &precedence() { return Prec; }
 
-  /// Drops the term-id-keyed weight memo. Must be called when the
-  /// underlying TermTable is reset() to a mark: rewinding reuses dense
-  /// term ids for different terms, which would alias stale weights.
-  void invalidateCache() { WeightCache.clear(); }
+  /// Drops the term-id-keyed memos (weights and pair results). Must be
+  /// called when the underlying TermTable is reset() to a mark:
+  /// rewinding reuses dense term ids for different terms, which would
+  /// alias stale entries.
+  void invalidateCache() {
+    WeightCache.clear();
+    ++PairEpoch; // Lazily invalidates every pair entry.
+  }
 
 private:
   Precedence Prec;
   uint64_t SymbolWeight;
   // Weight memo indexed by term id (0 = not yet computed).
   mutable std::vector<uint64_t> WeightCache;
+
+  /// Direct-mapped pair-comparison cache. Epoch-stamped entries make
+  /// invalidation O(1) — invalidateCache() runs once per query, and a
+  /// bulk clear of the table would cost more than the cache saves on
+  /// small queries.
+  struct PairEntry {
+    uint64_t Key = 0;   ///< (idA << 32) | idB; 0 = never written
+                        ///< (only the A == B pair maps to 0, and that
+                        ///< is answered before the cache).
+    uint32_t Epoch = 0; ///< Valid only when equal to PairEpoch.
+    uint8_t Val = 0;    ///< Order, as its enumerator index.
+  };
+  static constexpr size_t PairCacheSize = 1 << 13; ///< Slots (power of 2).
+  mutable std::vector<PairEntry> PairCache;        ///< Lazily allocated.
+  mutable uint32_t PairEpoch = 1;
 };
 
 /// Lexicographic path ordering on ground terms: s > t if

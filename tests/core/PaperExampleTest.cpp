@@ -38,7 +38,7 @@ protected:
     sup::Clause Wanted(std::move(Neg), std::move(Pos));
     const sup::Saturation &Sat = Prover.saturation();
     for (uint32_t I = 0; I != Sat.numClauses(); ++I)
-      if (Sat.entry(I).C == Wanted)
+      if (Sat.clause(I) == sup::ClauseView(Wanted))
         return true;
     return false;
   }
@@ -50,12 +50,11 @@ protected:
     const sup::Saturation &Sat = Prover.saturation();
     const std::vector<std::string> &Labels = Prover.inputLabels();
     for (uint32_t I = 0; I != Sat.numClauses(); ++I) {
-      const sup::ClauseEntry &Entry = Sat.entry(I);
-      if (Entry.J.Kind != sup::RuleKind::Input ||
-          Entry.J.ExternalTag >= Labels.size() ||
-          Labels[Entry.J.ExternalTag].find("SR") == std::string::npos)
+      const sup::Justification &J = Sat.justification(I);
+      if (J.Kind != sup::RuleKind::Input || J.ExternalTag >= Labels.size() ||
+          Labels[J.ExternalTag].find("SR") == std::string::npos)
         continue;
-      for (const sup::Equation &P : Entry.C.pos())
+      for (const sup::Equation &P : Sat.clause(I).pos())
         if (P == E)
           return true;
     }

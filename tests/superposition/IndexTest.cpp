@@ -135,6 +135,93 @@ TEST_F(IndexTest, TrieRetrievalMatchesBruteForce) {
   }
 }
 
+TEST_F(IndexTest, TrieChurnSweepMatchesBruteForce) {
+  // Insert/erase churn over the shallow trie's pooled leaf arrays:
+  // erasing swap-removes an entry's flat feature block, which must
+  // never corrupt its neighbours' blocks. Several toggle rounds with a
+  // full brute-force cross-check per round.
+  SplitMix64 Rng(77);
+  std::vector<FeatureVector> FVs;
+  std::vector<bool> Live;
+  SubsumptionIndex Idx;
+  for (uint32_t I = 0; I != 120; ++I) {
+    FVs.push_back(FeatureVector::of(randomClause(Rng)));
+    Live.push_back(true);
+    Idx.insert(I, FVs.back());
+  }
+  for (int Round = 0; Round != 6; ++Round) {
+    for (uint32_t I = 0; I != FVs.size(); ++I) {
+      if (Rng.next() % 3)
+        continue;
+      if (Live[I])
+        EXPECT_TRUE(Idx.erase(I, FVs[I]));
+      else
+        Idx.insert(I, FVs[I]);
+      Live[I] = !Live[I];
+    }
+    std::vector<uint32_t> Got, Want;
+    for (uint32_t Q = 0; Q != FVs.size(); ++Q) {
+      Got.clear();
+      Idx.potentialSubsumers(FVs[Q], Got);
+      Want.clear();
+      for (uint32_t I = 0; I != FVs.size(); ++I)
+        if (Live[I] && FVs[I].dominatedBy(FVs[Q]))
+          Want.push_back(I);
+      std::sort(Got.begin(), Got.end());
+      EXPECT_EQ(Got, Want) << "round " << Round << " subsumers of " << Q;
+
+      Got.clear();
+      Idx.potentialSubsumed(FVs[Q], Got);
+      Want.clear();
+      for (uint32_t I = 0; I != FVs.size(); ++I)
+        if (Live[I] && FVs[Q].dominatedBy(FVs[I]))
+          Want.push_back(I);
+      std::sort(Got.begin(), Got.end());
+      EXPECT_EQ(Got, Want) << "round " << Round << " subsumed of " << Q;
+    }
+  }
+}
+
+TEST_F(IndexTest, TrieOverPooledClauseViewsMatchesBruteForce) {
+  // Featurize through the saturation engine's flat clause arena
+  // (ClauseView spans) rather than standalone Clauses, and cross-check
+  // trie retrieval over those pooled vectors against brute force. This
+  // pins FeatureVector::of(ClauseView) to the Clause overload path and
+  // the trie to the SoA storage it indexes in production.
+  KBO Ord;
+  Saturation Sat(Terms, Ord);
+  SplitMix64 Rng(31);
+  for (int I = 0; I != 100; ++I) {
+    Clause C = randomClause(Rng);
+    Sat.addInput(std::vector<Equation>(C.neg()),
+                 std::vector<Equation>(C.pos()));
+  }
+  SubsumptionIndex Idx;
+  std::vector<FeatureVector> FVs;
+  std::vector<uint32_t> IdxIds;
+  for (uint32_t Id = 0; Id != Sat.numClauses(); ++Id) {
+    ClauseView V = Sat.clause(Id);
+    FeatureVector FromView = FeatureVector::of(V);
+    FeatureVector FromCopy = FeatureVector::of(V.materialize());
+    ASSERT_TRUE(FromView == FromCopy)
+        << "view and materialized features diverge for clause " << Id;
+    FVs.push_back(FromView);
+    IdxIds.push_back(Id);
+    Idx.insert(Id, FromView);
+  }
+  std::vector<uint32_t> Got, Want;
+  for (size_t Q = 0; Q != FVs.size(); ++Q) {
+    Got.clear();
+    Idx.potentialSubsumers(FVs[Q], Got);
+    Want.clear();
+    for (size_t I = 0; I != FVs.size(); ++I)
+      if (FVs[I].dominatedBy(FVs[Q]))
+        Want.push_back(IdxIds[I]);
+    std::sort(Got.begin(), Got.end());
+    EXPECT_EQ(Got, Want) << "pooled subsumer candidates for " << Q;
+  }
+}
+
 TEST_F(IndexTest, TrieEraseAndReinsert) {
   SplitMix64 Rng(5);
   FeatureVector FV1 = FeatureVector::of(randomClause(Rng));
@@ -202,12 +289,12 @@ TEST_F(SatIndexTest, BackwardSubsumptionDeletesWeakerClauses) {
   auto Wide =
       Sat.addInput({}, {Equation(T("a"), T("b")), Equation(T("c"), T("d"))});
   ASSERT_TRUE(Wide.New);
-  EXPECT_FALSE(Sat.entry(Wide.Id).Deleted);
+  EXPECT_FALSE(Sat.deleted(Wide.Id));
 
   // The stronger unit deletes the disjunction the moment it is kept.
   auto Unit = Sat.addInput({}, {Equation(T("a"), T("b"))});
   ASSERT_TRUE(Unit.New);
-  EXPECT_TRUE(Sat.entry(Wide.Id).Deleted);
+  EXPECT_TRUE(Sat.deleted(Wide.Id));
   EXPECT_EQ(Sat.stats().SubsumedBwd, 1u);
 }
 
@@ -218,7 +305,7 @@ TEST_F(SatIndexTest, RevivedDuplicateRechecksForwardSubsumption) {
   auto Unit = Sat.addInput({}, {Equation(T("a"), T("b"))});
   ASSERT_TRUE(Wide.New);
   ASSERT_TRUE(Unit.New);
-  ASSERT_TRUE(Sat.entry(Wide.Id).Deleted) << "precondition: deleted";
+  ASSERT_TRUE(Sat.deleted(Wide.Id)) << "precondition: deleted";
 
   // Re-adding the deleted duplicate while its subsumer is live must
   // NOT resurrect it.
@@ -227,7 +314,7 @@ TEST_F(SatIndexTest, RevivedDuplicateRechecksForwardSubsumption) {
       Sat.addInput({}, {Equation(T("a"), T("b")), Equation(T("c"), T("d"))});
   EXPECT_FALSE(Again.New);
   EXPECT_EQ(Again.Id, Wide.Id);
-  EXPECT_TRUE(Sat.entry(Wide.Id).Deleted);
+  EXPECT_TRUE(Sat.deleted(Wide.Id));
   EXPECT_EQ(Sat.stats().SubsumedFwd, FwdBefore + 1);
 
   // And the set still saturates without resurrected redundancy.
@@ -269,8 +356,8 @@ TEST_F(SatIndexTest, IndexedAndLinearSaturationAgree) {
   EXPECT_EQ(A.saturate(FA), B.saturate(FB));
   ASSERT_EQ(A.numClauses(), B.numClauses());
   for (uint32_t Id = 0; Id != A.numClauses(); ++Id) {
-    EXPECT_EQ(A.entry(Id).C == B.entry(Id).C, true) << "clause " << Id;
-    EXPECT_EQ(A.entry(Id).Deleted, B.entry(Id).Deleted) << "clause " << Id;
+    EXPECT_EQ(A.clause(Id) == B.clause(Id), true) << "clause " << Id;
+    EXPECT_EQ(A.deleted(Id), B.deleted(Id)) << "clause " << Id;
   }
   EXPECT_EQ(A.stats().SubsumedFwd, B.stats().SubsumedFwd);
   EXPECT_EQ(A.stats().SubsumedBwd, B.stats().SubsumedBwd);

@@ -43,7 +43,7 @@ protected:
       // (2) The generating clause contains the edge positively and its
       // residual clause is falsified by R.
       ASSERT_NE(Rule.GeneratingClause, ~0u);
-      const Clause &Gen = Sat.entry(Rule.GeneratingClause).C;
+      ClauseView Gen = Sat.clause(Rule.GeneratingClause);
       Equation Edge(Rule.Lhs, Rule.Rhs);
       bool Found = false;
       for (const Equation &E : Gen.pos())

@@ -32,20 +32,20 @@ TEST_F(ProofCheckTest, EntailsGroundBasics) {
   Clause AC({}, {Equation(T("a"), T("c"))});
   Clause AD({}, {Equation(T("a"), T("d"))});
   // Transitivity is a semantic consequence; a = d is not.
-  EXPECT_TRUE(entailsGround(Terms, {&AB, &BC}, AC));
-  EXPECT_FALSE(entailsGround(Terms, {&AB, &BC}, AD));
+  EXPECT_TRUE(entailsGround(Terms, {AB, BC}, AC));
+  EXPECT_FALSE(entailsGround(Terms, {AB, BC}, AD));
   // Weakening: any clause follows from itself plus junk.
-  EXPECT_TRUE(entailsGround(Terms, {&AB}, AB));
+  EXPECT_TRUE(entailsGround(Terms, {AB}, AB));
   Clause Weaker({}, {Equation(T("a"), T("b")), Equation(T("c"), T("d"))});
-  EXPECT_TRUE(entailsGround(Terms, {&AB}, Weaker));
+  EXPECT_TRUE(entailsGround(Terms, {AB}, Weaker));
 }
 
 TEST_F(ProofCheckTest, EntailsGroundEmptyClause) {
   Clause AB({}, {Equation(T("a"), T("b"))});
   Clause NotAB({Equation(T("a"), T("b"))}, {});
   Clause Empty({}, {});
-  EXPECT_TRUE(entailsGround(Terms, {&AB, &NotAB}, Empty));
-  EXPECT_FALSE(entailsGround(Terms, {&AB}, Empty));
+  EXPECT_TRUE(entailsGround(Terms, {AB, NotAB}, Empty));
+  EXPECT_FALSE(entailsGround(Terms, {AB}, Empty));
 }
 
 TEST_F(ProofCheckTest, RefutationAudits) {

@@ -128,11 +128,11 @@ TEST_F(SaturationTest, ProofRecordsParents) {
   Sat.addInput({}, {Equation(T("a"), T("b"))});
   Sat.addInput({Equation(T("a"), T("b"))}, {});
   ASSERT_EQ(Sat.saturate(Unlimited), SatResult::Unsatisfiable);
-  const ClauseEntry &E = Sat.entry(Sat.emptyClauseId());
-  EXPECT_TRUE(E.C.empty());
+  EXPECT_TRUE(Sat.clause(Sat.emptyClauseId()).empty());
   // The refutation must trace back to inputs through real rules.
-  EXPECT_NE(E.J.Kind, RuleKind::Input);
-  EXPECT_FALSE(E.J.Parents.empty());
+  const Justification &J = Sat.justification(Sat.emptyClauseId());
+  EXPECT_NE(J.Kind, RuleKind::Input);
+  EXPECT_FALSE(J.Parents.empty());
 }
 
 TEST_F(SaturationTest, ModelGuidedFindsCertifiedModelEarly) {
@@ -198,7 +198,7 @@ TEST_F(SaturationTest, ModelGuidedCertifiedModelsEdgeResiduals) {
             SatResult::Saturated);
   ASSERT_TRUE(Model.has_value());
   for (const RewriteRule &Rule : Model->rules()) {
-    const Clause &Gen = Sat.entry(Rule.GeneratingClause).C;
+    ClauseView Gen = Sat.clause(Rule.GeneratingClause);
     Equation Edge(Rule.Lhs, Rule.Rhs);
     for (const Equation &E : Gen.pos()) {
       if (E != Edge) {
@@ -257,9 +257,8 @@ TEST_F(SaturationTest, ClearedInstanceMatchesFreshInstance) {
   EXPECT_EQ(Feed(Sat), Feed(Fresh));
   ASSERT_EQ(Sat.numClauses(), Fresh.numClauses());
   for (uint32_t Id = 0; Id != Sat.numClauses(); ++Id) {
-    EXPECT_TRUE(Sat.entry(Id).C == Fresh.entry(Id).C) << "clause " << Id;
-    EXPECT_EQ(Sat.entry(Id).Deleted, Fresh.entry(Id).Deleted)
-        << "clause " << Id;
+    EXPECT_TRUE(Sat.clause(Id) == Fresh.clause(Id)) << "clause " << Id;
+    EXPECT_EQ(Sat.deleted(Id), Fresh.deleted(Id)) << "clause " << Id;
   }
   EXPECT_EQ(Sat.stats().Derived, Fresh.stats().Derived);
   EXPECT_EQ(Sat.stats().Kept, Fresh.stats().Kept);
@@ -304,8 +303,7 @@ TEST_F(SaturationTest, CompactionPurgesStaleIndexEntriesAndIsNeutral) {
   // Identical verdict-relevant state despite different sweep timing.
   ASSERT_EQ(Sat.numClauses(), Eager.numClauses());
   for (uint32_t Id = 0; Id != Sat.numClauses(); ++Id) {
-    EXPECT_TRUE(Sat.entry(Id).C == Eager.entry(Id).C) << "clause " << Id;
-    EXPECT_EQ(Sat.entry(Id).Deleted, Eager.entry(Id).Deleted)
-        << "clause " << Id;
+    EXPECT_TRUE(Sat.clause(Id) == Eager.clause(Id)) << "clause " << Id;
+    EXPECT_EQ(Sat.deleted(Id), Eager.deleted(Id)) << "clause " << Id;
   }
 }

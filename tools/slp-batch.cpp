@@ -9,7 +9,8 @@
 /// (one per line) through the concurrent batch engine.
 ///
 ///   slp-batch [options] [file]
-///     --jobs=N        worker threads (default 1; 0 = all cores)
+///     --jobs=N        worker threads (default and 0: all cores).
+///                     Verdict output is byte-identical for any value
 ///     --backend=B     slp (default) | berdine | unfolding | portfolio;
 ///                     portfolio races all three per query and takes
 ///                     the first definitive verdict
@@ -57,7 +58,6 @@
 #include "CliUtil.h"
 
 #include "engine/BatchProver.h"
-#include "engine/ThreadPool.h"
 #include "sl/Parser.h"
 
 #include <cstdio>
@@ -86,6 +86,7 @@ using cli::parseUnsigned;
 
 int main(int argc, char **argv) {
   engine::BatchOptions Opts;
+  Opts.Jobs = 0; // Unspecified --jobs means all cores.
   bool Stats = false;
   cli::TelemetryOptions Telemetry;
   std::string File;
@@ -183,13 +184,15 @@ int main(int argc, char **argv) {
     const engine::BatchStats &S = Engine.stats();
     engine::CacheStats C = Engine.cache().stats();
     std::fprintf(stderr,
-                 "batch: %zu queries in %.3fs (%.1f q/s, jobs=%u)\n"
+                 "batch: %zu queries in %.3fs (%.1f q/s, %u workers; "
+                 "%llu steals, %llu attempts)\n"
                  "verdicts: %zu valid, %zu invalid, %zu unknown, "
                  "%zu parse errors\n"
                  "cache: %s, hit rate %.1f%% (%llu hits, %llu misses, "
                  "%zu entries, %llu evictions)\n",
-                 S.Queries, S.Seconds, S.throughput(),
-                 engine::ThreadPool::resolveJobs(Opts.Jobs), S.Valid,
+                 S.Queries, S.Seconds, S.throughput(), S.WorkersUsed,
+                 static_cast<unsigned long long>(S.Steals),
+                 static_cast<unsigned long long>(S.StealAttempts), S.Valid,
                  S.Invalid, S.Unknown, S.ParseErrors,
                  Opts.CacheEnabled ? "on" : "off", 100.0 * S.hitRate(),
                  static_cast<unsigned long long>(S.CacheHits),
@@ -217,6 +220,15 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(S.SubsumedBwd),
                  static_cast<unsigned long long>(S.SubChecks),
                  static_cast<unsigned long long>(S.SubScanBaseline), Prune);
+    uint64_t MemoTotal = S.OrderCacheHits + S.OrderCacheMisses;
+    std::fprintf(stderr,
+                 "pools: %llu equations, %llu literals; order memo "
+                 "%llu hits / %llu misses (%.1f%%)\n",
+                 static_cast<unsigned long long>(S.PoolEquations),
+                 static_cast<unsigned long long>(S.PoolLiterals),
+                 static_cast<unsigned long long>(S.OrderCacheHits),
+                 static_cast<unsigned long long>(S.OrderCacheMisses),
+                 MemoTotal ? 100.0 * S.OrderCacheHits / MemoTotal : 0.0);
     obs::MetricsSnapshot Snap = obs::metrics().snapshot();
     cli::printModelGuidedStats(Snap, Opts.Prover.Sat.IncrementalModel);
     cli::printEngineReuseStats(Snap);

@@ -12,7 +12,8 @@
 /// concurrently through the engine with the shared result cache.
 ///
 ///   slp-verify [options]
-///     --jobs=N        worker threads (default 1; 0 = all cores)
+///     --jobs=N        worker threads (default and 0: all cores).
+///                     Verdict output is byte-identical for any value
 ///     --backend=B     slp (default) | berdine | unfolding | portfolio;
 ///                     portfolio races all three per VC and takes the
 ///                     first definitive verdict
@@ -45,7 +46,6 @@
 #include "CliUtil.h"
 
 #include "engine/BatchProver.h"
-#include "engine/ThreadPool.h"
 #include "engine/VcTasks.h"
 
 #include <cstdio>
@@ -75,6 +75,7 @@ using cli::parseUnsigned;
 
 int main(int argc, char **argv) {
   engine::BatchOptions Opts;
+  Opts.Jobs = 0; // Unspecified --jobs means all cores.
   bool Stats = false;
   bool List = false;
   bool PerVc = false;
@@ -189,10 +190,11 @@ int main(int argc, char **argv) {
   if (Stats) {
     const engine::BatchStats &S = Engine.stats();
     std::fprintf(stderr,
-                 "verify: %zu VCs in %.3fs (%.1f VC/s, jobs=%u); "
-                 "cache %s, %llu hits\n",
-                 S.Queries, S.Seconds, S.throughput(),
-                 engine::ThreadPool::resolveJobs(Opts.Jobs),
+                 "verify: %zu VCs in %.3fs (%.1f VC/s, %u workers; "
+                 "%llu steals, %llu attempts); cache %s, %llu hits\n",
+                 S.Queries, S.Seconds, S.throughput(), S.WorkersUsed,
+                 static_cast<unsigned long long>(S.Steals),
+                 static_cast<unsigned long long>(S.StealAttempts),
                  Opts.CacheEnabled ? "on" : "off",
                  static_cast<unsigned long long>(S.CacheHits));
     if (Opts.Presolve)

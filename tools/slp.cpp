@@ -20,10 +20,14 @@
 ///     --fuel=N      inference step budget per query (default
 ///                   unlimited; for portfolio, per racing backend)
 ///     --jobs=N      prove queries concurrently through the batch
-///                   engine (verdicts only; 0 = all cores). Unlike the
+///                   engine (verdicts only; 0 = all cores). When
+///                   unspecified, plain verdict runs default to all
+///                   cores; the proof/model/stats output modes need
+///                   the in-process saturation objects and fall back
+///                   to the sequential single-worker path. Unlike the
 ///                   sequential path, which stops at the first bad
-///                   line, this path reports parse errors per query on
-///                   stdout, like slp-batch
+///                   line, the engine path reports parse errors per
+///                   query on stdout, like slp-batch
 ///     --no-presolve disable the polynomial static pre-solver
 ///                   (verdicts are identical; for measurement). The
 ///                   sequential path also skips it automatically when
@@ -163,13 +167,22 @@ int main(int argc, char **argv) {
       HaveFile = true;
     }
   }
-  bool UseEngine = Opts.JobsGiven && Opts.Jobs != 1;
-  if (UseEngine &&
-      (Opts.Proof || Opts.Model || Opts.CheckProof || Opts.DotProof ||
-       Opts.DotModel || Opts.Stats)) {
-    std::cerr << "slp: --jobs supports plain verdict output only "
-                 "(no --proof/--model/--check-proof/--dot-*/--stats)\n";
-    return usage();
+  bool SequentialOnly = Opts.Proof || Opts.Model || Opts.CheckProof ||
+                        Opts.DotProof || Opts.DotModel || Opts.Stats;
+  bool UseEngine;
+  if (Opts.JobsGiven) {
+    UseEngine = Opts.Jobs != 1;
+    if (UseEngine && SequentialOnly) {
+      std::cerr << "slp: --jobs supports plain verdict output only "
+                   "(no --proof/--model/--check-proof/--dot-*/--stats)\n";
+      return usage();
+    }
+  } else {
+    // Unspecified --jobs: plain verdict runs use every core through
+    // the batch engine (verdicts are byte-identical to sequential);
+    // the rendering modes stay on the sequential path they require.
+    UseEngine = !SequentialOnly;
+    Opts.Jobs = 0;
   }
   bool IsSlp = Opts.Backend == engine::BackendKind::Slp;
   bool IsPortfolio = Opts.Backend == engine::BackendKind::Portfolio;
