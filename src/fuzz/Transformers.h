@@ -1,0 +1,123 @@
+//===- fuzz/Transformers.h - Metamorphic entailment transformers *- C++ -*-===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metamorphic transformer catalogue of the fuzzing campaign: each
+/// transformer rewrites an entailment into a variant whose verdict
+/// relates to the original's in a declared, provable way. The campaign
+/// (fuzz/Campaign.h) applies randomized chains of these and flags any
+/// prover answer that violates the composed relation — or any
+/// disagreement between backends on the variant itself.
+///
+/// Relations (soundness arguments in docs/fuzzing.md):
+///
+///   Equal           the variant's verdict is the original's. Holds
+///                   for injective renamings away from nil
+///                   (alpha-rename), reordering of the `*`- and
+///                   `&`-multisets (star-shuffle, pure-shuffle), and
+///                   framing with spatial atoms over fresh variables
+///                   (frame-wrap: validity transfers by the frame
+///                   rule, invalidity because a countermodel extends
+///                   with a fresh cell — or an empty lseg — that no
+///                   alternative split can absorb).
+///
+///   ImpliesValid    original Valid => variant Valid. Holds when the
+///                   antecedent's pure part grows (lhs-strengthen) or
+///                   the consequent's pure part shrinks (rhs-weaken):
+///                   more hypotheses, or fewer proof obligations.
+///
+///   ImpliesInvalid  original Invalid => variant Invalid. Holds when
+///                   the antecedent's pure part shrinks (lhs-weaken)
+///                   or the consequent's grows (rhs-strengthen): the
+///                   original countermodel still satisfies the weaker
+///                   LHS and still falsifies the stronger RHS.
+///
+/// Applications are deterministic functions of (entailment, link
+/// seed), so a chain is fully described by its (kind, seed) pairs and
+/// the shrinker can re-derive any sub-chain without replaying RNG
+/// state — the property that makes greedy link-dropping sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SLP_FUZZ_TRANSFORMERS_H
+#define SLP_FUZZ_TRANSFORMERS_H
+
+#include "core/Prover.h"
+#include "sl/Formula.h"
+
+#include <optional>
+#include <vector>
+
+namespace slp {
+namespace fuzz {
+
+/// How a transformer's output verdict relates to its input's.
+enum class Relation : uint8_t {
+  Equal,          ///< Verdicts are identical.
+  ImpliesValid,   ///< Input Valid => output Valid.
+  ImpliesInvalid, ///< Input Invalid => output Invalid.
+  None,           ///< Nothing checkable (mixed-direction chains).
+};
+
+const char *relationName(Relation R);
+
+/// The relation of a two-link chain from the links' relations: Equal
+/// is the identity, equal directions compose to themselves, and
+/// opposite directions cancel to None.
+Relation compose(Relation A, Relation B);
+
+/// True iff observing verdict \p In on the original and \p Out on the
+/// variant violates \p R. Unknown verdicts never violate (fuel
+/// exhaustion is not a counterexample to a metamorphic law).
+bool violates(Relation R, core::Verdict In, core::Verdict Out);
+
+/// The catalogue.
+enum class TransformerKind : uint8_t {
+  AlphaRename,   ///< Injective renaming of non-nil constants.
+  StarShuffle,   ///< Permute both `*`-multisets (commutation +
+                 ///< reassociation: the AST is flat, so one shuffle
+                 ///< covers every re-parenthesization).
+  PureShuffle,   ///< Permute both pure conjunctions.
+  FrameWrap,     ///< Add one spatial atom over fresh variables to
+                 ///< both sides.
+  LhsStrengthen, ///< Add a pure atom over existing terms to the LHS.
+  RhsWeaken,     ///< Drop one pure atom from the RHS.
+  RhsStrengthen, ///< Add a pure atom over existing terms to the RHS.
+  LhsWeaken,     ///< Drop one pure atom from the LHS.
+};
+
+/// Number of catalogue entries (kinds are dense from 0).
+constexpr unsigned NumTransformers = 8;
+
+/// Static description of one transformer.
+struct Transformer {
+  TransformerKind Kind;
+  /// Stable kebab-case name: finding files, metrics, JSON reports.
+  const char *Name;
+  Relation Rel;
+  /// True iff the variant's engine::CanonicalQuery key is provably the
+  /// original's (the alpha-invariant cache must not distinguish them).
+  bool PreservesCanonicalKey;
+};
+
+/// The catalogue in TransformerKind order.
+const std::vector<Transformer> &catalogue();
+
+/// Lookup by kind.
+const Transformer &transformer(TransformerKind K);
+
+/// Applies \p K to \p E, interning any fresh constants into \p Terms.
+/// Deterministic given (\p E, \p LinkSeed). Returns nullopt when the
+/// transformer is inapplicable (e.g. RhsWeaken on an empty RHS pure
+/// part); appliers never fabricate a no-op in that case.
+std::optional<sl::Entailment> apply(TransformerKind K, TermTable &Terms,
+                                    const sl::Entailment &E,
+                                    uint64_t LinkSeed);
+
+} // namespace fuzz
+} // namespace slp
+
+#endif // SLP_FUZZ_TRANSFORMERS_H

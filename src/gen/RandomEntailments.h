@@ -37,6 +37,17 @@ sl::Entailment distribution1(TermTable &Terms, SplitMix64 &Rng,
 sl::Entailment distribution2(TermTable &Terms, SplitMix64 &Rng,
                              unsigned NumVars, double PNext);
 
+/// The splittable entry point for concurrent generation: the RNG for
+/// stream \p Stream of campaign seed \p Seed. Workers that each own a
+/// distinct stream id (their worker or work-unit index) draw
+/// non-overlapping, decorrelated sequences without sharing — or
+/// locking — one generator, and any single stream can be replayed
+/// alone bit-for-bit. Feed the result to distribution1/distribution2
+/// exactly like a hand-seeded SplitMix64.
+inline SplitMix64 streamRng(uint64_t Seed, uint64_t Stream) {
+  return SplitMix64::forStream(Seed, Stream);
+}
+
 } // namespace gen
 } // namespace slp
 

@@ -25,6 +25,21 @@ class SplitMix64 {
 public:
   explicit SplitMix64(uint64_t Seed) : State(Seed) {}
 
+  /// Derives the generator of an independent stream: (Seed, 0),
+  /// (Seed, 1), ... yield decorrelated sequences, so N concurrent
+  /// workers can each own stream id == worker/unit index and generate
+  /// without locking a shared engine — and a single-threaded replay of
+  /// stream K reproduces worker K's sequence bit-for-bit. Both inputs
+  /// pass through the SplitMix64 finalizer (a bijective avalanche
+  /// mixer), so nearby seeds and nearby stream ids land in unrelated
+  /// regions of the state space.
+  static SplitMix64 forStream(uint64_t Seed, uint64_t Stream) {
+    SplitMix64 SeedMix(Seed);
+    uint64_t Base = SeedMix.next();
+    SplitMix64 StreamMix(Base ^ (Stream + 0x9e3779b97f4a7c15ull));
+    return SplitMix64(StreamMix.next());
+  }
+
   uint64_t next() {
     uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
     Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;

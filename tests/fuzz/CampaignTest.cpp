@@ -1,0 +1,189 @@
+//===- tests/fuzz/CampaignTest.cpp -------------------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Campaign-level properties: bit-reproducibility (same seed => same
+// JSON report, at any worker count), single-unit replay fidelity,
+// clean runs over the default backends, findings-file output, and the
+// fuzz.* metrics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include "obs/Metrics.h"
+#include "sl/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace slp;
+
+namespace {
+
+fuzz::CampaignOptions smallOptions(uint64_t Seed) {
+  fuzz::CampaignOptions Opts;
+  Opts.Seed = Seed;
+  Opts.Jobs = 1;
+  Opts.VariantsPerSeed = 3;
+  Opts.MaxChain = 2;
+  Opts.SeedTexts = fuzz::defaultSeedCorpus(Seed, 3, 4);
+  return Opts;
+}
+
+} // namespace
+
+TEST(Campaign, DefaultSeedCorpusIsDeterministic) {
+  std::vector<std::string> A = fuzz::defaultSeedCorpus(5, 4, 4);
+  std::vector<std::string> B = fuzz::defaultSeedCorpus(5, 4, 4);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.size(), 12u); // 4 each of dist1, dist2, cloned dist2.
+  EXPECT_NE(A, fuzz::defaultSeedCorpus(6, 4, 4));
+  // Every generated seed parses.
+  for (const std::string &S : A) {
+    SymbolTable Syms;
+    TermTable Terms(Syms);
+    EXPECT_TRUE(sl::parseEntailment(Terms, S).ok()) << S;
+  }
+}
+
+TEST(Campaign, ReportIsBitReproducible) {
+  fuzz::Campaign A(smallOptions(21)), B(smallOptions(21));
+  EXPECT_EQ(A.run().json(), B.run().json());
+}
+
+TEST(Campaign, ReportIndependentOfJobs) {
+  fuzz::CampaignOptions Single = smallOptions(22);
+  fuzz::CampaignOptions Multi = smallOptions(22);
+  Multi.Jobs = 4;
+  fuzz::Campaign A(Single), B(Multi);
+  EXPECT_EQ(A.run().json(), B.run().json());
+}
+
+TEST(Campaign, SeedChangesTheReport) {
+  fuzz::Campaign A(smallOptions(23)), B(smallOptions(24));
+  EXPECT_NE(A.run().json(), B.run().json());
+}
+
+// The acceptance bar of the subsystem: backends, presolver, and the
+// metamorphic laws agree on everything the generators produce.
+TEST(Campaign, DefaultBackendsProduceNoFindings) {
+  fuzz::Campaign C(smallOptions(1));
+  fuzz::CampaignReport R = C.run();
+  EXPECT_EQ(R.Findings.size(), 0u)
+      << (R.Findings.empty() ? "" : R.Findings.front().Detail);
+  EXPECT_EQ(R.UnitsRun, R.Units);
+  EXPECT_FALSE(R.Truncated);
+  EXPECT_GT(R.Variants, 0u);
+  EXPECT_GT(R.Checks, R.Variants); // Several oracles per variant.
+}
+
+TEST(Campaign, OnlyUnitReplaysTheSameStream) {
+  // Per-unit RNG streams make a single unit's variants independent of
+  // the rest of the campaign: unit 2 alone == unit 2 of the full run.
+  fuzz::CampaignOptions Full = smallOptions(31);
+  fuzz::CampaignOptions One = smallOptions(31);
+  One.OnlyUnit = 2;
+  fuzz::Campaign A(Full), B(One);
+  fuzz::CampaignReport RA = A.run(), RB = B.run();
+  EXPECT_EQ(RB.UnitsRun, 1u);
+  EXPECT_EQ(RB.Units, RA.Units);
+  EXPECT_LE(RB.Variants, RA.Variants);
+}
+
+TEST(Campaign, SeedParseErrorsBecomeFindings) {
+  fuzz::CampaignOptions Opts = smallOptions(41);
+  Opts.SeedTexts = {"lseg(x |- nope"};
+  fuzz::Campaign C(Opts);
+  fuzz::CampaignReport R = C.run();
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_EQ(R.Findings[0].Category, fuzz::FindingCategory::SeedParseError);
+  EXPECT_FALSE(R.Findings[0].Detail.empty());
+}
+
+TEST(Campaign, MaxVariantsTruncatesDeterministically) {
+  fuzz::CampaignOptions Opts = smallOptions(51);
+  Opts.MaxVariants = Opts.VariantsPerSeed; // Exactly one unit's worth.
+  fuzz::Campaign C(Opts);
+  fuzz::CampaignReport R = C.run();
+  EXPECT_EQ(R.Units, 1u);
+  EXPECT_EQ(R.UnitsRun, 1u);
+}
+
+TEST(Campaign, PublishesMetrics) {
+  obs::MetricsSnapshot Before = obs::metrics().snapshot();
+  fuzz::Campaign C(smallOptions(61));
+  fuzz::CampaignReport R = C.run();
+  obs::MetricsSnapshot After = obs::metrics().snapshot();
+  EXPECT_EQ(After.counterOr0("fuzz.units") - Before.counterOr0("fuzz.units"),
+            R.UnitsRun);
+  EXPECT_EQ(After.counterOr0("fuzz.variants") -
+                Before.counterOr0("fuzz.variants"),
+            R.Variants);
+  EXPECT_EQ(After.counterOr0("fuzz.checks") -
+                Before.counterOr0("fuzz.checks"),
+            R.Checks);
+  EXPECT_GE(After.counterOr0("fuzz.transformer.alpha-rename.applied"),
+            Before.counterOr0("fuzz.transformer.alpha-rename.applied"));
+}
+
+TEST(Campaign, WriteFindingsEmitsReplayableFiles) {
+  fuzz::CampaignReport R;
+  R.Seed = 77;
+  fuzz::Finding F;
+  F.Category = fuzz::FindingCategory::CrossBackend;
+  F.Unit = 3;
+  F.Variant = 1;
+  F.SeedText = "next(x, y) |- lseg(x, y)";
+  F.VariantText = "next(a, b) |- lseg(a, b)";
+  F.ShrunkText = "next(a, b) |- lseg(a, b)";
+  F.Detail = "slp=valid lying=invalid";
+  R.Findings.push_back(F);
+
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "slp-fuzz-test-out")
+          .string();
+  std::filesystem::remove_all(Dir);
+  std::optional<std::vector<std::string>> Paths =
+      fuzz::writeFindings(R, Dir, "--fuel=1000");
+  ASSERT_TRUE(Paths.has_value());
+  ASSERT_EQ(Paths->size(), 1u);
+
+  std::ifstream In((*Paths)[0]);
+  ASSERT_TRUE(In.good());
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Text = SS.str();
+  EXPECT_NE(Text.find("cross-backend"), std::string::npos);
+  EXPECT_NE(Text.find("--seed=77 --unit=3 --fuel=1000"), std::string::npos);
+  EXPECT_NE(Text.find("slp=valid lying=invalid"), std::string::npos);
+
+  // The last non-empty line is the reproducer and must parse alone.
+  std::string LastLine, Line;
+  std::istringstream Lines(Text);
+  while (std::getline(Lines, Line))
+    if (!Line.empty())
+      LastLine = Line;
+  SymbolTable Syms;
+  TermTable Terms(Syms);
+  EXPECT_TRUE(sl::parseEntailment(Terms, LastLine).ok()) << LastLine;
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(Campaign, JsonIsWellFormedEnough) {
+  fuzz::Campaign C(smallOptions(71));
+  std::string Json = C.run().json();
+  // Cheap structural checks; CI pipes this through a real parser.
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_EQ(Json[Json.size() - 2], '}');
+  EXPECT_NE(Json.find("\"transformers\": ["), std::string::npos);
+  EXPECT_NE(Json.find("\"findings\": ["), std::string::npos);
+  EXPECT_EQ(Json.find("\"seconds\""), std::string::npos)
+      << "wall clock must stay out of the deterministic report";
+}

@@ -1,0 +1,168 @@
+//===- tests/fuzz/ShrinkTest.cpp ---------------------------------------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Fault-injection tests of the campaign's finding pipeline: a backend
+// that lies on a known class of queries must produce findings, and
+// every shrunk reproducer must (a) still reproduce the injected
+// disagreement standalone and (b) be no larger than the variant it
+// was shrunk from.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include "core/Backend.h"
+#include "sl/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace slp;
+
+namespace {
+
+/// Delegates to SLP but flips Valid to Invalid on any query that
+/// mentions an lseg atom — a deterministic, shrink-stable lie (the
+/// minimal reproducer must keep at least one lseg to keep lying).
+class LyingBackend final : public core::EntailmentBackend {
+public:
+  const char *name() const override { return "lying"; }
+  bool complete() const override { return true; }
+  core::BackendResult prove(const core::ProofTask &Task, Fuel &F) override {
+    core::BackendResult R = Inner.prove(Task, F);
+    if (R.Parsed && R.V == core::Verdict::Valid && lies(Task.Text))
+      R.V = core::Verdict::Invalid;
+    R.Backend = name();
+    return R;
+  }
+
+  static bool lies(const std::string &Text) {
+    return Text.find("lseg(") != std::string::npos;
+  }
+
+private:
+  core::SlpBackend Inner;
+};
+
+fuzz::CampaignOptions lyingOptions() {
+  fuzz::CampaignOptions Opts;
+  Opts.Seed = 11;
+  Opts.Jobs = 1;
+  Opts.VariantsPerSeed = 4;
+  Opts.MaxChain = 2;
+  // Valid seeds with lseg atoms, so the lie fires on the seeds
+  // themselves and on most variants.
+  Opts.SeedTexts = {
+      "lseg(x, y) * next(y, z) & x != y |- lseg(x, z)",
+      "x = y & lseg(x, nil) |- lseg(y, nil)",
+  };
+  Opts.BackendFactory = [] {
+    std::vector<std::unique_ptr<core::EntailmentBackend>> B;
+    B.push_back(std::make_unique<core::SlpBackend>());
+    B.push_back(std::make_unique<LyingBackend>());
+    return B;
+  };
+  return Opts;
+}
+
+/// True iff SLP and the liar still disagree on \p Text — the property
+/// every shrunk cross-backend reproducer must retain.
+bool reproduces(const std::string &Text) {
+  core::SlpBackend Honest;
+  LyingBackend Liar;
+  core::ProofTask Task;
+  Task.Text = Text;
+  Fuel F1, F2;
+  core::BackendResult A = Honest.prove(Task, F1);
+  core::BackendResult B = Liar.prove(Task, F2);
+  return A.definitive() && B.definitive() && A.V != B.V;
+}
+
+/// Spatial + pure atom count of a reproducer, the shrinker's own
+/// minimality measure.
+size_t atomCount(const std::string &Text) {
+  SymbolTable Syms;
+  TermTable Terms(Syms);
+  sl::ParseResult P = sl::parseEntailment(Terms, Text);
+  EXPECT_TRUE(P.ok()) << Text;
+  if (!P.ok())
+    return 0;
+  return P.Value->Lhs.Pure.size() + P.Value->Lhs.Spatial.size() +
+         P.Value->Rhs.Pure.size() + P.Value->Rhs.Spatial.size();
+}
+
+} // namespace
+
+TEST(Shrink, LyingBackendIsDetected) {
+  fuzz::Campaign C(lyingOptions());
+  fuzz::CampaignReport R = C.run();
+  ASSERT_FALSE(R.Findings.empty());
+  bool SawCrossBackend = false;
+  for (const fuzz::Finding &F : R.Findings)
+    if (F.Category == fuzz::FindingCategory::CrossBackend) {
+      SawCrossBackend = true;
+      EXPECT_NE(F.Detail.find("lying="), std::string::npos) << F.Detail;
+    }
+  EXPECT_TRUE(SawCrossBackend);
+}
+
+TEST(Shrink, ReproducersStillReproduceAndNeverGrow) {
+  fuzz::Campaign C(lyingOptions());
+  fuzz::CampaignReport R = C.run();
+  ASSERT_FALSE(R.Findings.empty());
+  for (const fuzz::Finding &F : R.Findings) {
+    if (F.Category != fuzz::FindingCategory::CrossBackend)
+      continue;
+    EXPECT_TRUE(reproduces(F.ShrunkText)) << F.ShrunkText;
+    EXPECT_LE(atomCount(F.ShrunkText), atomCount(F.VariantText))
+        << F.ShrunkText << " vs " << F.VariantText;
+    // The lie needs an lseg; greedy dropping must have kept one.
+    EXPECT_TRUE(LyingBackend::lies(F.ShrunkText)) << F.ShrunkText;
+  }
+}
+
+TEST(Shrink, ReachesTheMinimalLyingQuery) {
+  // On this seed the minimal cross-backend reproducer is a single
+  // valid lseg query; the greedy shrinker must land on one atom per
+  // side (it cannot drop further: "lseg(a, b) |- emp" is invalid on
+  // both backends and "emp |- emp" does not lie).
+  fuzz::CampaignOptions Opts = lyingOptions();
+  Opts.SeedTexts = {"lseg(x, y) * next(y, z) * next(z, w) |- "
+                    "lseg(x, y) * next(y, z) * next(z, w)"};
+  Opts.VariantsPerSeed = 1;
+  fuzz::Campaign C(Opts);
+  fuzz::CampaignReport R = C.run();
+  ASSERT_FALSE(R.Findings.empty());
+  const fuzz::Finding &F = R.Findings.front();
+  EXPECT_EQ(F.Category, fuzz::FindingCategory::CrossBackend);
+  EXPECT_EQ(F.ShrunkText, "lseg(x, y) |- lseg(x, y)");
+  EXPECT_GT(F.ShrinkSteps, 0u);
+}
+
+TEST(Shrink, NoShrinkKeepsTheVariant) {
+  fuzz::CampaignOptions Opts = lyingOptions();
+  Opts.Shrink = false;
+  fuzz::Campaign C(Opts);
+  fuzz::CampaignReport R = C.run();
+  ASSERT_FALSE(R.Findings.empty());
+  for (const fuzz::Finding &F : R.Findings) {
+    EXPECT_EQ(F.ShrunkText, F.VariantText);
+    EXPECT_EQ(F.ShrinkSteps, 0u);
+  }
+  EXPECT_EQ(R.ShrinkSteps, 0u);
+}
+
+TEST(Shrink, FindingsAreCappedPerUnit) {
+  // A liar that fires on every lseg query would otherwise flood the
+  // report with one finding per variant of every unit.
+  fuzz::CampaignOptions Opts = lyingOptions();
+  Opts.VariantsPerSeed = 40;
+  Opts.Shrink = false;
+  fuzz::Campaign C(Opts);
+  fuzz::CampaignReport R = C.run();
+  EXPECT_LE(R.Findings.size(), 8u * Opts.SeedTexts.size());
+}

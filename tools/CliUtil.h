@@ -41,6 +41,39 @@ inline bool parseUnsigned(const std::string &Text, uint64_t &Out) {
   return *End == '\0' && errno != ERANGE;
 }
 
+/// Parses the value of `--opt=X` as a finite double; false on empty,
+/// non-numeric, trailing-garbage, or non-finite text. (strtod accepts
+/// "inf" and "nan", which no tool option wants.)
+inline bool parseDouble(const std::string &Text, double &Out) {
+  if (Text.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtod(Text.c_str(), &End);
+  return *End == '\0' && errno != ERANGE && Out == Out &&
+         Out <= 1e308 && Out >= -1e308;
+}
+
+/// Parses a probability option value: a double in [0, 1].
+inline bool parseProbability(const std::string &Text, double &Out) {
+  return parseDouble(Text, Out) && Out >= 0.0 && Out <= 1.0;
+}
+
+/// Parses a duration like "30" / "30s" / "2m" (seconds when
+/// suffix-less) into seconds; false on anything else.
+inline bool parseDuration(const std::string &Text, double &Out) {
+  std::string Num = Text;
+  double Scale = 1.0;
+  if (!Num.empty() && (Num.back() == 's' || Num.back() == 'm')) {
+    Scale = Num.back() == 'm' ? 60.0 : 1.0;
+    Num.pop_back();
+  }
+  if (!parseDouble(Num, Out) || Out < 0)
+    return false;
+  Out *= Scale;
+  return true;
+}
+
 /// Largest worker count the tools accept; far above any real machine,
 /// but keeps a typo from asking the OS for billions of threads.
 constexpr uint64_t MaxJobs = 4096;

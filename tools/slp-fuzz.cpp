@@ -1,0 +1,313 @@
+//===- tools/slp-fuzz.cpp - Metamorphic + differential fuzzing ---------------===//
+//
+// Part of the SLP project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `slp-fuzz` command line tool: runs a metamorphic/differential
+/// fuzzing campaign (fuzz/Campaign.h) over the paper's random
+/// entailment distributions plus any caller corpora, checking every
+/// variant across all backends and the polynomial pre-solver, and
+/// shrinking each disagreement to a minimal standalone reproducer.
+///
+///   slp-fuzz [options] [corpus files...]
+///     --seed=N            campaign master seed (default 1). Same seed
+///                         and options => bit-identical variants,
+///                         findings, and JSON report, at any --jobs
+///     --jobs=N            worker threads (default 1; 0 = all cores);
+///                         never changes the report
+///     --variants-per-seed=N  transformed variants per corpus entry
+///                         (default 6)
+///     --max-chain=N       transformer links per variant, uniform in
+///                         [1, N] (default 3)
+///     --variants=N        total variant cap: deterministically
+///                         truncates the unit list (default none)
+///     --budget=T          wall-clock cap, e.g. 30s or 2m (default
+///                         none). Truncation drops whole trailing
+///                         units and is reported; replays that must be
+///                         bit-reproducible should omit it
+///     --fuel=N            inference budget per backend call (default
+///                         250000; 0 = unlimited). Fuel-outs are
+///                         Unknown: skipped, never findings
+///     --gen-count=N       generated seeds per distribution (default
+///                         12; distributions 1, 2, and 2x-cloned 2)
+///     --gen-vars=N        variables per generated seed (default 6)
+///     --unit=K            replay exactly unit K (streams are
+///                         per-unit, so its variants match the full
+///                         campaign's bit-for-bit)
+///     --findings-dir=DIR  where reproducers go (default fuzz-corpus;
+///                         only written when there are findings)
+///     --json=FILE         write the campaign report as JSON ("-" for
+///                         stdout)
+///     --no-presolve-check do not use analysis::analyze as an oracle
+///     --no-shrink         keep first-detected variants as reproducers
+///     --stats             campaign summary to stderr
+///     --trace=FILE        Chrome trace-event JSON (shared option)
+///     --metrics-json=FILE metrics snapshot JSON (shared option)
+///
+/// Exit status: 0 clean campaign, 1 findings (or I/O failure), 2 bad
+/// usage. Corpus files are in the slp concrete syntax, one entailment
+/// per line (# comments skipped); they become fuzz units after the
+/// generated seeds, in argument order.
+///
+//===----------------------------------------------------------------------===//
+
+#include "CliUtil.h"
+
+#include "fuzz/Campaign.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace slp;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: slp-fuzz [--seed=N] [--jobs=N] [--variants-per-seed=N] "
+         "[--max-chain=N] [--variants=N] [--budget=T] [--fuel=N] "
+         "[--gen-count=N] [--gen-vars=N] [--unit=K] [--findings-dir=DIR] "
+         "[--json=FILE] [--no-presolve-check] [--no-shrink] [--stats] "
+         "[--trace=FILE] [--metrics-json=FILE] [corpus files...]\n";
+  return 2;
+}
+
+using cli::MaxJobs;
+using cli::parseUnsigned;
+
+/// Splits a corpus file into entailment lines, skipping blanks and
+/// comment-only lines. Each surviving line is one fuzz unit; parse
+/// errors surface as seed-parse findings, not tool errors.
+std::vector<std::string> splitCorpus(const std::string &Input) {
+  std::vector<std::string> Out;
+  std::istringstream In(Input);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t Start = Line.find_first_not_of(" \t\r");
+    if (Start == std::string::npos)
+      continue;
+    if (Line[Start] == '#' ||
+        (Line[Start] == '/' && Start + 1 < Line.size() &&
+         Line[Start + 1] == '/'))
+      continue;
+    Out.push_back(Line.substr(Start));
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  fuzz::CampaignOptions Opts;
+  Opts.Seed = 1;
+  Opts.Jobs = 1;
+  Opts.FuelPerProve = 250000;
+  unsigned GenCount = 12, GenVars = 6;
+  std::string FindingsDir = "fuzz-corpus";
+  std::string JsonPath;
+  bool Stats = false;
+  cli::TelemetryOptions Telemetry;
+  std::vector<std::string> CorpusFiles;
+
+  for (int I = 1; I != argc; ++I) {
+    std::string Arg = argv[I];
+    uint64_t N = 0;
+    if (Arg.rfind("--seed=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(7), N)) {
+        std::cerr << "slp-fuzz: bad value in '" << Arg << "'\n";
+        return usage();
+      }
+      Opts.Seed = N;
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(7), N) || N > MaxJobs) {
+        std::cerr << "slp-fuzz: bad value in '" << Arg << "' (0-" << MaxJobs
+                  << ")\n";
+        return usage();
+      }
+      Opts.Jobs = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--variants-per-seed=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(20), N) || N == 0) {
+        std::cerr << "slp-fuzz: bad value in '" << Arg << "'\n";
+        return usage();
+      }
+      Opts.VariantsPerSeed = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--max-chain=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(12), N) || N == 0 || N > 64) {
+        std::cerr << "slp-fuzz: bad value in '" << Arg << "' (1-64)\n";
+        return usage();
+      }
+      Opts.MaxChain = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--variants=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(11), N)) {
+        std::cerr << "slp-fuzz: bad value in '" << Arg << "'\n";
+        return usage();
+      }
+      Opts.MaxVariants = N;
+    } else if (Arg.rfind("--budget=", 0) == 0) {
+      double Seconds = 0;
+      if (!cli::parseDuration(Arg.substr(9), Seconds)) {
+        std::cerr << "slp-fuzz: bad duration in '" << Arg
+                  << "' (e.g. 30s, 2m)\n";
+        return usage();
+      }
+      Opts.BudgetSeconds = Seconds;
+    } else if (Arg.rfind("--fuel=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(7), N)) {
+        std::cerr << "slp-fuzz: bad value in '" << Arg << "'\n";
+        return usage();
+      }
+      Opts.FuelPerProve = N;
+    } else if (Arg.rfind("--gen-count=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(12), N) || N > 100000) {
+        std::cerr << "slp-fuzz: bad value in '" << Arg << "'\n";
+        return usage();
+      }
+      GenCount = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--gen-vars=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(11), N) || N < 2 || N > 1000) {
+        std::cerr << "slp-fuzz: bad value in '" << Arg << "' (2-1000)\n";
+        return usage();
+      }
+      GenVars = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--unit=", 0) == 0) {
+      if (!parseUnsigned(Arg.substr(7), N) || N > 1000000000) {
+        std::cerr << "slp-fuzz: bad value in '" << Arg << "'\n";
+        return usage();
+      }
+      Opts.OnlyUnit = static_cast<int>(N);
+    } else if (Arg.rfind("--findings-dir=", 0) == 0) {
+      FindingsDir = Arg.substr(15);
+      if (FindingsDir.empty()) {
+        std::cerr << "slp-fuzz: empty path in '" << Arg << "'\n";
+        return usage();
+      }
+    } else if (Arg.rfind("--json=", 0) == 0) {
+      JsonPath = Arg.substr(7);
+      if (JsonPath.empty()) {
+        std::cerr << "slp-fuzz: empty path in '" << Arg << "'\n";
+        return usage();
+      }
+    } else if (Arg == "--no-presolve-check") {
+      Opts.CheckPresolve = false;
+    } else if (Arg == "--no-shrink") {
+      Opts.Shrink = false;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (cli::parseTelemetryOpt("slp-fuzz", Arg, Telemetry)) {
+      if (!Telemetry.Ok)
+        return usage();
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "slp-fuzz: unknown option '" << Arg << "'\n";
+      return usage();
+    } else {
+      CorpusFiles.push_back(Arg);
+    }
+  }
+
+  // Seed corpus: generated distributions first (stable unit numbering
+  // across corpus-file sets), then the caller's files in order.
+  Opts.SeedTexts = fuzz::defaultSeedCorpus(Opts.Seed, GenCount, GenVars);
+  for (const std::string &File : CorpusFiles) {
+    std::ifstream In(File);
+    if (!In) {
+      std::cerr << "slp-fuzz: cannot open " << File << "\n";
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    for (std::string &Line : splitCorpus(SS.str()))
+      Opts.SeedTexts.push_back(std::move(Line));
+  }
+  if (Opts.SeedTexts.empty()) {
+    std::cerr << "slp-fuzz: empty seed corpus (--gen-count=0 and no "
+                 "corpus files)\n";
+    return usage();
+  }
+  if (Opts.OnlyUnit >= 0 &&
+      static_cast<size_t>(Opts.OnlyUnit) >= Opts.SeedTexts.size()) {
+    std::cerr << "slp-fuzz: --unit=" << Opts.OnlyUnit
+              << " out of range (corpus has " << Opts.SeedTexts.size()
+              << " units)\n";
+    return usage();
+  }
+
+  cli::startTelemetry(Telemetry);
+  fuzz::Campaign Campaign(Opts);
+  fuzz::CampaignReport Report = Campaign.run();
+
+  int Exit = Report.Findings.empty() ? 0 : 1;
+
+  if (!JsonPath.empty()) {
+    std::string Json = Report.json();
+    if (JsonPath == "-") {
+      std::cout << Json;
+    } else {
+      std::ofstream Out(JsonPath);
+      Out << Json;
+      if (!Out) {
+        std::cerr << "slp-fuzz: cannot write report '" << JsonPath << "'\n";
+        Exit = Exit ? Exit : 1;
+      }
+    }
+  }
+
+  if (!Report.Findings.empty()) {
+    // Rebuild the deterministic replay flags for the provenance
+    // comments (budget deliberately omitted: replays must not
+    // truncate).
+    std::ostringstream Replay;
+    Replay << "--variants-per-seed=" << Opts.VariantsPerSeed
+           << " --max-chain=" << Opts.MaxChain << " --fuel="
+           << Opts.FuelPerProve << " --gen-count=" << GenCount
+           << " --gen-vars=" << GenVars;
+    for (const std::string &File : CorpusFiles)
+      Replay << " " << File;
+    std::optional<std::vector<std::string>> Paths =
+        fuzz::writeFindings(Report, FindingsDir, Replay.str());
+    if (!Paths) {
+      std::cerr << "slp-fuzz: cannot write findings under '" << FindingsDir
+                << "'\n";
+    } else {
+      for (const std::string &P : *Paths)
+        std::cerr << "slp-fuzz: finding written to " << P << "\n";
+    }
+  }
+
+  if (Stats || !Report.Findings.empty()) {
+    std::fprintf(stderr,
+                 "fuzz: seed %llu, %zu/%zu units%s, %llu variants, "
+                 "%llu checks (%llu skipped unknown), %zu findings, "
+                 "%llu shrink steps, %.3fs\n",
+                 static_cast<unsigned long long>(Report.Seed),
+                 Report.UnitsRun, Report.Units,
+                 Report.Truncated ? " (budget truncated)" : "",
+                 static_cast<unsigned long long>(Report.Variants),
+                 static_cast<unsigned long long>(Report.Checks),
+                 static_cast<unsigned long long>(Report.SkippedUnknown),
+                 Report.Findings.size(),
+                 static_cast<unsigned long long>(Report.ShrinkSteps),
+                 Report.Seconds);
+    if (Stats)
+      for (size_t K = 0; K != fuzz::NumTransformers; ++K) {
+        const fuzz::TransformerTally &T = Report.Transformers[K];
+        std::fprintf(stderr,
+                     "transformer %-15s (%s): %llu applied, "
+                     "%llu inapplicable, %llu findings\n",
+                     fuzz::catalogue()[K].Name,
+                     fuzz::relationName(fuzz::catalogue()[K].Rel),
+                     static_cast<unsigned long long>(T.Applied),
+                     static_cast<unsigned long long>(T.Inapplicable),
+                     static_cast<unsigned long long>(T.Findings));
+      }
+  }
+
+  if (!cli::finishTelemetry("slp-fuzz", Telemetry))
+    return Exit ? Exit : 1;
+  return Exit;
+}
